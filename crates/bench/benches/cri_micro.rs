@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the CRI layer: assignment strategies (Algorithm 1)
+//! and lock/try-lock costs — the per-operation overheads the design pays
+//! for its parallelism.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairmpi_cri::{Assignment, CriPool};
+use fairmpi_fabric::{Envelope, Fabric, FabricConfig, Packet};
+use fairmpi_spc::SpcSet;
+
+fn pool(instances: usize) -> (Arc<Fabric>, CriPool) {
+    let fabric = Arc::new(Fabric::new(2, instances, FabricConfig::test_default()));
+    let pool = CriPool::new(&fabric, 0, instances, Arc::new(SpcSet::new()));
+    (fabric, pool)
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let (_f, p) = pool(16);
+    c.bench_function("cri/round_robin_assignment", |b| {
+        b.iter(|| black_box(p.instance_id(Assignment::RoundRobin)))
+    });
+    c.bench_function("cri/dedicated_assignment", |b| {
+        b.iter(|| black_box(p.instance_id(Assignment::Dedicated)))
+    });
+}
+
+fn bench_lock_paths(c: &mut Criterion) {
+    let (_f, p) = pool(4);
+    let spc = SpcSet::new();
+    c.bench_function("cri/uncontended_lock_unlock", |b| {
+        b.iter(|| {
+            let g = p.instance(0).lock(&spc);
+            black_box(&g);
+        })
+    });
+    c.bench_function("cri/try_lock_hit", |b| {
+        b.iter(|| {
+            let g = p.instance(1).try_lock(&spc);
+            black_box(g.is_some())
+        })
+    });
+    let held = p.instance(2).lock(&spc);
+    c.bench_function("cri/try_lock_miss", |b| {
+        b.iter(|| black_box(p.instance(2).try_lock(&spc).is_none()))
+    });
+    drop(held);
+}
+
+fn bench_send_path(c: &mut Criterion) {
+    let (fabric, p) = pool(4);
+    let spc = SpcSet::new();
+    c.bench_function("cri/inject_zero_byte", |b| {
+        b.iter(|| {
+            {
+                let g = p.instance(0).lock(&spc);
+                g.send(
+                    &fabric,
+                    Packet::eager(
+                        Envelope {
+                            src: 0,
+                            dst: 1,
+                            comm: 0,
+                            tag: 0,
+                            seq: 0,
+                        },
+                        Vec::new(),
+                    ),
+                    1,
+                    &spc,
+                );
+            }
+            // Drain what we produced so queues stay bounded across the
+            // millions of criterion iterations.
+            let mut rx = fabric.context(1, 0).begin_drain();
+            black_box(rx.pop_rx());
+            drop(rx);
+            let mut cq = p.instance(0).context().begin_drain();
+            if cq.pop_completion().is_some() {
+                cq.context().op_finished();
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_assignment, bench_lock_paths, bench_send_path);
+criterion_main!(benches);

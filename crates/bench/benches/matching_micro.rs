@@ -1,0 +1,165 @@
+//! Micro-benchmarks of the matching engine — the serial bottleneck the
+//! whole study revolves around. These quantify the cost drivers behind
+//! Table II: sequence validation, out-of-sequence buffering, queue search
+//! length, and the overtaking/ANY_TAG shortcuts of §IV-D.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairmpi_fabric::{Envelope, Packet, ANY_TAG};
+use fairmpi_matching::{Matcher, PostedRecv};
+use fairmpi_spc::SpcSet;
+
+fn pkt(src: u32, tag: i32, seq: u64) -> Packet {
+    Packet::eager(
+        Envelope {
+            src,
+            dst: 0,
+            comm: 0,
+            tag,
+            seq,
+        },
+        Vec::new(),
+    )
+}
+
+fn recv(token: u64, tag: i32) -> PostedRecv {
+    PostedRecv {
+        token,
+        comm: 0,
+        src: 0,
+        tag,
+    }
+}
+
+/// In-order delivery against a pre-posted receive: the happy path.
+fn bench_in_order(c: &mut Criterion) {
+    c.bench_function("match/in_order_deliver", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Matcher::new(Arc::new(SpcSet::new()), false);
+                for i in 0..1024u64 {
+                    m.post_recv(recv(i, 0));
+                }
+                m
+            },
+            |mut m| {
+                let mut out = Vec::new();
+                for seq in 0..1024u64 {
+                    m.deliver(pkt(0, 0, seq), &mut out);
+                }
+                black_box(out.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Fully reversed arrival: every message but one is buffered out of
+/// sequence and replayed — the worst case the paper's Table II approaches
+/// (up to ~94 % OOS).
+fn bench_out_of_sequence(c: &mut Criterion) {
+    c.bench_function("match/reversed_deliver_oos", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Matcher::new(Arc::new(SpcSet::new()), false);
+                for i in 0..1024u64 {
+                    m.post_recv(recv(i, 0));
+                }
+                m
+            },
+            |mut m| {
+                let mut out = Vec::new();
+                for seq in (0..1024u64).rev() {
+                    m.deliver(pkt(0, 0, seq), &mut out);
+                }
+                black_box(out.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Queue-search cost as the PRQ grows (distinct tags force full scans).
+fn bench_queue_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match/queue_search");
+    for len in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter_batched(
+                || {
+                    let mut m = Matcher::new(Arc::new(SpcSet::new()), false);
+                    for i in 0..len as u64 {
+                        m.post_recv(recv(i, i as i32));
+                    }
+                    m
+                },
+                |mut m| {
+                    let mut out = Vec::new();
+                    // Matches the last entry: full traversal.
+                    m.deliver(pkt(0, len as i32 - 1, 0), &mut out);
+                    black_box(out.len())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// The §IV-D fast path: overtaking skips sequence validation, ANY_TAG
+/// receives make the queue search O(1).
+fn bench_overtaking_any_tag(c: &mut Criterion) {
+    c.bench_function("match/overtaking_any_tag", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Matcher::new(Arc::new(SpcSet::new()), true);
+                for i in 0..1024u64 {
+                    m.post_recv(recv(i, ANY_TAG));
+                }
+                m
+            },
+            |mut m| {
+                let mut out = Vec::new();
+                // Scrambled arrival does not matter with overtaking.
+                for seq in (0..1024u64).rev() {
+                    m.deliver(pkt(0, 5, seq), &mut out);
+                }
+                black_box(out.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Posting receives against a deep unexpected queue.
+fn bench_unexpected_queue(c: &mut Criterion) {
+    c.bench_function("match/post_against_deep_umq", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Matcher::new(Arc::new(SpcSet::new()), false);
+                let mut out = Vec::new();
+                for seq in 0..1024u64 {
+                    m.deliver(pkt(0, (seq % 64) as i32, seq), &mut out);
+                }
+                m
+            },
+            |mut m| {
+                // Each post scans the UMQ for its tag.
+                for tag in 0..64i32 {
+                    black_box(m.post_recv(recv(tag as u64, tag)).0);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_in_order,
+    bench_out_of_sequence,
+    bench_queue_search,
+    bench_overtaking_any_tag,
+    bench_unexpected_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion wrapper for paper Table II (scaled down): runs the 20-pair
+//! dedicated configuration for each progress/matching group and prints the
+//! out-of-sequence percentage and match time alongside the timing. The
+//! paper-scale table comes from `cargo run --release -p fairmpi-bench
+//! --bin table2`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairmpi_spc::Counter;
+use fairmpi_vsim::workload::multirate::SimMatchLayout;
+use fairmpi_vsim::{
+    Machine, MachinePreset, MultirateResult, MultirateSim, SimAssignment, SimDesign,
+    SimProgress,
+};
+
+fn run(progress: SimProgress, matching: SimMatchLayout, instances: usize) -> MultirateResult {
+    MultirateSim {
+        machine: Machine::preset(MachinePreset::Alembert),
+        pairs: 20,
+        window: 32,
+        iterations: 4,
+        design: SimDesign {
+            instances,
+            assignment: SimAssignment::Dedicated,
+            progress,
+            matching,
+            allow_overtaking: false,
+            any_tag: false,
+            big_lock: false,
+            process_mode: false,
+        },
+        seed: 0xBEEF,
+        cost: None,
+    }
+    .run()
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (name, progress, matching) in [
+        ("serial", SimProgress::Serial, SimMatchLayout::SingleComm),
+        (
+            "concurrent",
+            SimProgress::Concurrent,
+            SimMatchLayout::SingleComm,
+        ),
+        (
+            "concurrent_matching",
+            SimProgress::Concurrent,
+            SimMatchLayout::CommPerPair,
+        ),
+    ] {
+        for instances in [1usize, 20] {
+            let r = run(progress, matching, instances);
+            println!(
+                "table2 {name}/{instances}-inst: OOS {} ({:.1}%), match {:.2} ms (virtual)",
+                r.spc[Counter::OutOfSequenceMessages],
+                r.spc.out_of_sequence_fraction() * 100.0,
+                r.spc.match_time_ms()
+            );
+            group.bench_function(format!("{name}_{instances}inst"), |b| {
+                b.iter(|| black_box(run(progress, matching, instances).makespan_ns))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

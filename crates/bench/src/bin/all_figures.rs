@@ -1,0 +1,40 @@
+//! Regenerate every figure and table of the paper in one run, writing CSVs
+//! under `results/`. Equivalent to running the fig3/fig4/fig5/fig6/fig7/
+//! table2 binaries in sequence (table2 runs at the FAIRMPI_ITERS default of
+//! this harness, not the paper-exact 1010, unless overridden).
+
+use fairmpi_bench::{env_usize, figures, print_series, write_csv};
+
+fn main() {
+    for panel in ['a', 'b', 'c'] {
+        let s = figures::fig3(panel);
+        print_series(&format!("Fig 3{panel}"), &s);
+        write_csv(&format!("fig3{panel}"), &s).expect("csv");
+    }
+    for panel in ['a', 'b', 'c'] {
+        let s = figures::fig4(panel);
+        print_series(&format!("Fig 4{panel}"), &s);
+        write_csv(&format!("fig4{panel}"), &s).expect("csv");
+    }
+    let s = figures::fig5();
+    print_series("Fig 5", &s);
+    write_csv("fig5", &s).expect("csv");
+
+    figures::report_rma_figure("fig6", &figures::fig6());
+    figures::report_rma_figure("fig7", &figures::fig7());
+
+    let iterations = env_usize("FAIRMPI_ITERS", 200);
+    let cells = figures::table2(iterations);
+    println!("\n== Table II ({} iterations) ==", iterations);
+    for c in &cells {
+        println!(
+            "{:<34} {:>3} inst: OOS {:>9} ({:>6.2}%), match {:>8.0} ms",
+            c.group,
+            c.instances,
+            c.oos,
+            c.oos_fraction * 100.0,
+            c.match_time_ms
+        );
+    }
+    println!("\nall figures regenerated into results/");
+}

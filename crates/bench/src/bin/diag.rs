@@ -1,0 +1,55 @@
+//! Diagnostic: run one Multirate design point and dump every counter plus
+//! derived per-message costs. Not a paper figure; a calibration aid.
+//!
+//! Usage: `diag [pairs] [instances] [serial|concurrent] [single|perpair]`
+
+use fairmpi_vsim::workload::multirate::SimMatchLayout;
+use fairmpi_vsim::{
+    Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pairs: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(20);
+    let instances: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(20);
+    let progress = match args.get(3).map(|s| s.as_str()) {
+        Some("concurrent") => SimProgress::Concurrent,
+        _ => SimProgress::Serial,
+    };
+    let matching = match args.get(4).map(|s| s.as_str()) {
+        Some("perpair") => SimMatchLayout::CommPerPair,
+        _ => SimMatchLayout::SingleComm,
+    };
+    let sim = MultirateSim {
+        machine: Machine::preset(MachinePreset::Alembert),
+        pairs,
+        window: 128,
+        iterations: 20,
+        design: SimDesign {
+            instances,
+            assignment: SimAssignment::Dedicated,
+            progress,
+            matching,
+            allow_overtaking: false,
+            any_tag: false,
+            big_lock: false,
+            process_mode: false,
+        },
+        seed: 0xD1A6,
+        cost: None,
+    };
+    let r = sim.run();
+    println!(
+        "pairs={pairs} inst={instances} {progress:?} {matching:?}: \
+         {:.0} msg/s, makespan {:.3} ms, {} msgs",
+        r.msg_rate_per_s,
+        r.makespan_ns as f64 / 1e6,
+        r.total_messages
+    );
+    println!("per-message virtual time: {:.0} ns", r.makespan_ns as f64 / r.total_messages as f64);
+    for (c, v) in r.spc.iter() {
+        if v != 0 {
+            println!("  {:<32} {:>12}  ({:.2}/msg)", c.name(), v, v as f64 / r.total_messages as f64);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerate paper Fig. 5: the state of MPI threading — process vs
+//! thread mode across implementations (vendor entries emulated; see
+//! DESIGN.md §1) plus the paper's CRI designs. The paper plots this on a
+//! log Y axis.
+
+use fairmpi_bench::{check, figures, print_series, write_csv};
+
+fn main() {
+    let series = figures::fig5();
+    print_series("Fig 5: 0-byte msg rate (msg/s) vs communication pairs", &series);
+    let path = write_csv("fig5", &series).expect("write csv");
+    println!("wrote {}", path.display());
+
+    let find = |label: &str| {
+        series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+            .clone()
+    };
+    let process = find("OMPI Process");
+    let thread = find("OMPI Thread");
+    let cris = find("OMPI Thread + CRIs");
+    let star = find("OMPI Thread + CRIs*");
+    let impi = find("IMPI Thread");
+    let mpich = find("MPICH Thread");
+
+    check(
+        "5: process mode is roughly an order of magnitude above the threaded baseline",
+        process.last() > 5.0 * thread.last(),
+    );
+    check(
+        "5: CRIs give ~2x over the threaded baseline",
+        cris.last() > 1.5 * thread.last(),
+    );
+    check(
+        "5: CRIs* (concurrent progress+matching) is the best threaded design",
+        star.last() > cris.last() && star.last() > thread.last(),
+    );
+    check(
+        "5: CRIs* still does not reach process mode",
+        star.last() < process.last(),
+    );
+    check(
+        "5: all big-lock threaded designs cluster together (within 3x)",
+        {
+            let lo = thread.last().min(impi.last()).min(mpich.last());
+            let hi = thread.last().max(impi.last()).max(mpich.last());
+            hi < 3.0 * lo
+        },
+    );
+    check(
+        "5: threaded baselines do not scale with pairs (flat or declining)",
+        thread.last() < 2.0 * thread.points[0].mean,
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerate paper Fig. 6: RMA-MT message rate (`MPI_Put` +
+//! `MPI_Win_flush`) on the Haswell partition, one panel per message size.
+
+use fairmpi_bench::figures;
+
+fn main() {
+    let panels = figures::fig6();
+    figures::report_rma_figure("fig6", &panels);
+}

@@ -1,0 +1,10 @@
+//! Regenerate paper Fig. 7: RMA-MT message rate (`MPI_Put` +
+//! `MPI_Win_flush`) on the KNL partition (68 slower cores, 72 instances),
+//! one panel per message size.
+
+use fairmpi_bench::figures;
+
+fn main() {
+    let panels = figures::fig7();
+    figures::report_rma_figure("fig7", &panels);
+}

@@ -1,0 +1,282 @@
+//! Simple collectives built on point-to-point.
+//!
+//! Internal messages use reserved *negative* tags, which user receives —
+//! including `ANY_TAG` wildcards, which only match non-negative tags —
+//! can never observe. They share each communicator's sequence-number
+//! stream with user traffic, as collectives do inside OB1.
+
+use fairmpi_fabric::{Rank, Tag, ANY_SOURCE};
+
+use crate::comm::Communicator;
+use crate::error::Result;
+use crate::proc::Proc;
+use crate::request::Message;
+
+const TAG_BARRIER_IN: Tag = -16;
+const TAG_BARRIER_OUT: Tag = -17;
+const TAG_BCAST: Tag = -18;
+const TAG_REDUCE: Tag = -19;
+const TAG_GATHER: Tag = -20;
+const TAG_SCATTER: Tag = -21;
+const TAG_ALLTOALL: Tag = -23;
+const TAG_REDUCE_ELEMS: Tag = -24;
+
+/// Elementwise reduction operators for [`Proc::reduce_elems`]
+/// (`MPI_Op` analogues over u64 lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `MPI_SUM` (wrapping).
+    Sum,
+    /// `MPI_MAX`
+    Max,
+    /// `MPI_MIN`
+    Min,
+    /// `MPI_BAND`
+    BitAnd,
+    /// `MPI_BOR`
+    BitOr,
+}
+
+impl ReduceOp {
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::BitAnd => a & b,
+            ReduceOp::BitOr => a | b,
+        }
+    }
+}
+
+impl Proc {
+    fn send_internal(&self, buf: &[u8], dst: Rank, tag: Tag, comm: Communicator) -> Result<()> {
+        let req = self.isend_unchecked(buf, dst, tag, comm)?;
+        self.wait(&req).map(|_| ())
+    }
+
+    fn recv_internal(&self, src: i32, tag: Tag, comm: Communicator) -> Result<Message> {
+        let req = self.irecv_unchecked(usize::MAX / 2, src, tag, comm)?;
+        self.wait(&req)
+    }
+
+    /// Barrier across all ranks of the communicator (`MPI_Barrier`).
+    ///
+    /// Linear gather-release through rank 0. One call per rank; concurrent
+    /// barriers on the *same* communicator from multiple threads of one
+    /// rank are not meaningful (as in MPI).
+    pub fn barrier(&self, comm: Communicator) -> Result<()> {
+        let n = self.num_ranks();
+        if n == 1 {
+            return Ok(());
+        }
+        if self.rank() == 0 {
+            for _ in 1..n {
+                self.recv_internal(ANY_SOURCE, TAG_BARRIER_IN, comm)?;
+            }
+            for r in 1..n {
+                self.send_internal(&[], r as Rank, TAG_BARRIER_OUT, comm)?;
+            }
+        } else {
+            self.send_internal(&[], 0, TAG_BARRIER_IN, comm)?;
+            self.recv_internal(0, TAG_BARRIER_OUT, comm)?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast from `root` (`MPI_Bcast`). On the root, returns the input;
+    /// elsewhere returns the received bytes.
+    pub fn bcast(&self, data: &[u8], root: Rank, comm: Communicator) -> Result<Vec<u8>> {
+        self.state.validate_rank(root)?;
+        let n = self.num_ranks();
+        if self.rank() == root {
+            for r in 0..n as Rank {
+                if r != root {
+                    self.send_internal(data, r, TAG_BCAST, comm)?;
+                }
+            }
+            Ok(data.to_vec())
+        } else {
+            Ok(self.recv_internal(root as i32, TAG_BCAST, comm)?.data)
+        }
+    }
+
+    /// Sum-reduce one u64 per rank to `root` (`MPI_Reduce` with `MPI_SUM`).
+    /// Non-root ranks receive 0.
+    pub fn reduce_sum(&self, value: u64, root: Rank, comm: Communicator) -> Result<u64> {
+        self.state.validate_rank(root)?;
+        let n = self.num_ranks();
+        if self.rank() == root {
+            let mut acc = value;
+            for _ in 0..n - 1 {
+                let m = self.recv_internal(ANY_SOURCE, TAG_REDUCE, comm)?;
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&m.data);
+                acc = acc.wrapping_add(u64::from_le_bytes(b));
+            }
+            Ok(acc)
+        } else {
+            self.send_internal(&value.to_le_bytes(), root, TAG_REDUCE, comm)?;
+            Ok(0)
+        }
+    }
+
+    /// Sum-allreduce one u64 (`MPI_Allreduce` with `MPI_SUM`).
+    pub fn allreduce_sum(&self, value: u64, comm: Communicator) -> Result<u64> {
+        let total = self.reduce_sum(value, 0, comm)?;
+        let bytes = self.bcast(&total.to_le_bytes(), 0, comm)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Scatter per-rank payloads from `root` (`MPI_Scatterv`-style): the
+    /// root passes one buffer per rank (`chunks.len() == num_ranks`) and
+    /// every rank returns its own chunk.
+    pub fn scatter(
+        &self,
+        chunks: Option<&[Vec<u8>]>,
+        root: Rank,
+        comm: Communicator,
+    ) -> Result<Vec<u8>> {
+        self.state.validate_rank(root)?;
+        let n = self.num_ranks();
+        if self.rank() == root {
+            let chunks = chunks.expect("root must supply the chunks");
+            assert_eq!(chunks.len(), n, "one chunk per rank");
+            for (r, chunk) in chunks.iter().enumerate() {
+                if r as Rank != root {
+                    self.send_internal(chunk, r as Rank, TAG_SCATTER, comm)?;
+                }
+            }
+            Ok(chunks[root as usize].clone())
+        } else {
+            Ok(self.recv_internal(root as i32, TAG_SCATTER, comm)?.data)
+        }
+    }
+
+    /// All-gather (`MPI_Allgatherv`-style): every rank contributes bytes
+    /// and receives everyone's contribution, indexed by rank.
+    pub fn allgather(&self, data: &[u8], comm: Communicator) -> Result<Vec<Vec<u8>>> {
+        // Gather at 0, then broadcast the concatenation with a length
+        // table (simple two-phase algorithm, as small MPI builds use).
+        let gathered = self.gather(data, 0, comm)?;
+        let packed = if self.rank() == 0 {
+            let parts = gathered.expect("rank 0 gathered");
+            let mut packed = Vec::new();
+            packed.extend_from_slice(&(parts.len() as u64).to_le_bytes());
+            for p in &parts {
+                packed.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            }
+            for p in &parts {
+                packed.extend_from_slice(p);
+            }
+            packed
+        } else {
+            Vec::new()
+        };
+        let packed = self.bcast(&packed, 0, comm)?;
+        let n = u64::from_le_bytes(packed[0..8].try_into().unwrap()) as usize;
+        let mut lens = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 8 + i * 8;
+            lens.push(u64::from_le_bytes(packed[off..off + 8].try_into().unwrap()) as usize);
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut cursor = 8 + n * 8;
+        for len in lens {
+            out.push(packed[cursor..cursor + len].to_vec());
+            cursor += len;
+        }
+        Ok(out)
+    }
+
+    /// All-to-all (`MPI_Alltoallv`-style): rank *i* sends `sends[j]` to
+    /// rank *j* and returns what every rank sent to *i*, indexed by rank.
+    pub fn alltoall(&self, sends: &[Vec<u8>], comm: Communicator) -> Result<Vec<Vec<u8>>> {
+        let n = self.num_ranks();
+        assert_eq!(sends.len(), n, "one buffer per destination rank");
+        let me = self.rank();
+        // Post all receives, then all sends, then wait — deadlock-free for
+        // any size mix.
+        let rreqs: Vec<_> = (0..n)
+            .map(|src| {
+                self.irecv_unchecked(usize::MAX / 2, src as i32, TAG_ALLTOALL, comm)
+                    .map(Some)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let sreqs: Vec<_> = (0..n)
+            .map(|dst| self.isend_unchecked(&sends[dst], dst as Rank, TAG_ALLTOALL, comm))
+            .collect::<Result<Vec<_>>>()?;
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        for req in rreqs.into_iter().flatten() {
+            let msg = self.wait(&req)?;
+            out[msg.src as usize] = msg.data;
+        }
+        for req in &sreqs {
+            self.wait(req)?;
+        }
+        let _ = me;
+        Ok(out)
+    }
+
+    /// Elementwise reduction of a u64 vector to `root` (`MPI_Reduce` with
+    /// a choice of op). All ranks must pass equal-length slices; non-root
+    /// ranks receive an empty vector.
+    pub fn reduce_elems(
+        &self,
+        values: &[u64],
+        op: ReduceOp,
+        root: Rank,
+        comm: Communicator,
+    ) -> Result<Vec<u64>> {
+        self.state.validate_rank(root)?;
+        let n = self.num_ranks();
+        let encode = |vs: &[u64]| {
+            let mut out = Vec::with_capacity(vs.len() * 8);
+            for v in vs {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        };
+        if self.rank() == root {
+            let mut acc = values.to_vec();
+            for _ in 0..n - 1 {
+                let m = self.recv_internal(ANY_SOURCE, TAG_REDUCE_ELEMS, comm)?;
+                assert_eq!(m.data.len(), acc.len() * 8, "mismatched lengths");
+                for (i, chunk) in m.data.chunks_exact(8).enumerate() {
+                    let v = u64::from_le_bytes(chunk.try_into().unwrap());
+                    acc[i] = op.apply(acc[i], v);
+                }
+            }
+            Ok(acc)
+        } else {
+            self.send_internal(&encode(values), root, TAG_REDUCE_ELEMS, comm)?;
+            Ok(Vec::new())
+        }
+    }
+
+    /// Gather each rank's bytes at `root` (`MPI_Gatherv`-style, variable
+    /// lengths). The root receives `Some(vec-per-rank)`, others `None`.
+    pub fn gather(
+        &self,
+        data: &[u8],
+        root: Rank,
+        comm: Communicator,
+    ) -> Result<Option<Vec<Vec<u8>>>> {
+        self.state.validate_rank(root)?;
+        let n = self.num_ranks();
+        if self.rank() == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+            out[root as usize] = data.to_vec();
+            for _ in 0..n - 1 {
+                let m = self.recv_internal(ANY_SOURCE, TAG_GATHER, comm)?;
+                out[m.src as usize] = m.data;
+            }
+            Ok(Some(out))
+        } else {
+            self.send_internal(data, root, TAG_GATHER, comm)?;
+            Ok(None)
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Communicators.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use fairmpi_fabric::CommId;
+use fairmpi_matching::{Matcher, SendSequencer};
+use fairmpi_spc::SpcSet;
+
+/// Lightweight communicator handle (`MPI_Comm`).
+///
+/// Copyable and valid on every rank of the world that created it. Resolve
+/// per-rank state through a [`crate::Proc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Communicator {
+    pub(crate) id: CommId,
+}
+
+impl Communicator {
+    /// The communicator id (stable across ranks).
+    pub fn id(&self) -> CommId {
+        self.id
+    }
+}
+
+/// Per-rank state of one communicator.
+#[derive(Debug)]
+pub(crate) struct CommState {
+    pub(crate) id: CommId,
+    /// Number of ranks in the communicator (== world size here; the runtime
+    /// supports duplication, not yet subsetting).
+    pub(crate) size: usize,
+    /// OB1-style per-communicator matcher. Unused (but present) when the
+    /// world runs a global matcher.
+    pub(crate) matcher: Mutex<Matcher>,
+    /// Send-side sequence counters toward each peer.
+    pub(crate) sequencer: SendSequencer,
+    /// `mpi_assert_allow_overtaking` for this communicator.
+    pub(crate) allow_overtaking: bool,
+}
+
+impl CommState {
+    pub(crate) fn new(
+        id: CommId,
+        size: usize,
+        allow_overtaking: bool,
+        spc: Arc<SpcSet>,
+    ) -> Self {
+        Self {
+            id,
+            size,
+            matcher: Mutex::new(Matcher::new(spc, allow_overtaking)),
+            sequencer: SendSequencer::new(size),
+            allow_overtaking,
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Typed send/receive helpers.
+//!
+//! The wire carries bytes; these helpers add the little-endian
+//! encode/decode boilerplate for the common fixed-width element types, the
+//! moral equivalent of passing `MPI_UINT64_T`/`MPI_DOUBLE` datatypes.
+
+use fairmpi_fabric::{Rank, Tag};
+
+use crate::comm::Communicator;
+use crate::error::{MpiError, Result};
+use crate::proc::Proc;
+
+/// A fixed-width element that can cross the wire.
+pub trait Datatype: Copy {
+    /// Encoded size in bytes.
+    const WIDTH: usize;
+    /// Append the little-endian encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one element from exactly [`Self::WIDTH`] bytes.
+    fn decode(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_datatype {
+    ($($t:ty),*) => {$(
+        impl Datatype for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("width checked"))
+            }
+        }
+    )*};
+}
+
+impl_datatype!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Encode a slice of elements into wire bytes.
+pub fn encode_slice<T: Datatype>(values: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * T::WIDTH);
+    for v in values {
+        v.encode(&mut out);
+    }
+    out
+}
+
+/// Decode wire bytes into elements; errors if the length is not a whole
+/// number of elements.
+pub fn decode_slice<T: Datatype>(bytes: &[u8]) -> Result<Vec<T>> {
+    if bytes.len() % T::WIDTH != 0 {
+        return Err(MpiError::Truncated {
+            message_len: bytes.len(),
+            capacity: (bytes.len() / T::WIDTH) * T::WIDTH,
+        });
+    }
+    Ok(bytes.chunks_exact(T::WIDTH).map(T::decode).collect())
+}
+
+impl Proc {
+    /// Typed blocking send (`MPI_Send` with a fixed-width datatype).
+    pub fn send_slice<T: Datatype>(
+        &self,
+        values: &[T],
+        dst: Rank,
+        tag: Tag,
+        comm: Communicator,
+    ) -> Result<()> {
+        self.send(&encode_slice(values), dst, tag, comm)
+    }
+
+    /// Typed blocking receive of up to `max_elems` elements.
+    pub fn recv_slice<T: Datatype>(
+        &self,
+        max_elems: usize,
+        src: i32,
+        tag: Tag,
+        comm: Communicator,
+    ) -> Result<Vec<T>> {
+        let msg = self.recv(max_elems * T::WIDTH, src, tag, comm)?;
+        decode_slice(&msg.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let xs = [1u64, u64::MAX, 42];
+        let bytes = encode_slice(&xs);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(decode_slice::<u64>(&bytes).unwrap(), xs);
+        let fs = [1.5f64, -0.25, f64::INFINITY];
+        assert_eq!(decode_slice::<f64>(&encode_slice(&fs)).unwrap(), fs);
+    }
+
+    #[test]
+    fn ragged_length_is_an_error() {
+        assert!(decode_slice::<u32>(&[1, 2, 3]).is_err());
+        assert!(decode_slice::<u32>(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn typed_send_recv() {
+        let world = World::builder().ranks(2).build();
+        let comm = world.comm_world();
+        let p0 = world.proc(0);
+        let p1 = world.proc(1);
+        let t = std::thread::spawn(move || {
+            p0.send_slice(&[3.25f64, -1.0, 0.5], 1, 0, comm).unwrap();
+        });
+        let got: Vec<f64> = p1.recv_slice(8, 0, 0, comm).unwrap();
+        t.join().unwrap();
+        assert_eq!(got, vec![3.25, -1.0, 0.5]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The design space of the study: every axis the paper varies.
+
+pub use fairmpi_cri::Assignment;
+pub use fairmpi_progress::ProgressMode;
+
+/// How matching state is laid out (the Fig. 3b vs Fig. 3c axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchMode {
+    /// OB1-style: one matcher (and one matching lock) per communicator, so
+    /// threads on different communicators match concurrently.
+    PerCommunicator,
+    /// MPICH/UCX-style: a single global matcher and lock for the whole
+    /// process, regardless of communicator.
+    Global,
+}
+
+/// Coarse locking model, used to emulate other implementations' threading
+/// designs for the Fig. 5 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockModel {
+    /// The paper's design: per-instance locks only.
+    PerInstance,
+    /// A process-wide critical section around every MPI call (send
+    /// initiation and each progress pass) — the classic "big lock" of
+    /// `MPI_THREAD_MULTIPLE` support in most implementations.
+    GlobalCriticalSection,
+}
+
+/// MPI threading levels (paper §II-A). The runtime always *grants*
+/// `Multiple`; lower levels only relax internal protection the way real
+/// implementations do, and are provided for completeness of the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ThreadLevel {
+    /// One thread per process.
+    Single,
+    /// Many threads, only the main thread calls MPI.
+    Funneled,
+    /// Many threads call MPI, never concurrently.
+    Serialized,
+    /// Full thread concurrency — the subject of the study.
+    Multiple,
+}
+
+/// The complete internal design configuration of one [`crate::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignConfig {
+    /// Number of communication resources instances to allocate per rank
+    /// (clamped by the fabric's hardware context limit).
+    pub num_instances: usize,
+    /// How threads are assigned an instance (Algorithm 1).
+    pub assignment: Assignment,
+    /// Serial or concurrent progress engine (Algorithm 2).
+    pub progress: ProgressMode,
+    /// Per-communicator or global matching.
+    pub matching: MatchMode,
+    /// Per-instance locks, or a global critical section emulating big-lock
+    /// implementations.
+    pub lock_model: LockModel,
+    /// Default `mpi_assert_allow_overtaking` for new communicators.
+    pub allow_overtaking: bool,
+    /// Requested threading level.
+    pub thread_level: ThreadLevel,
+}
+
+impl Default for DesignConfig {
+    /// The *original* Open MPI multithreaded design the paper starts from:
+    /// one shared instance, serialized progress, per-communicator (OB1)
+    /// matching, ordering enforced.
+    fn default() -> Self {
+        Self {
+            num_instances: 1,
+            assignment: Assignment::RoundRobin,
+            progress: ProgressMode::Serial,
+            matching: MatchMode::PerCommunicator,
+            lock_model: LockModel::PerInstance,
+            allow_overtaking: false,
+            thread_level: ThreadLevel::Multiple,
+        }
+    }
+}
+
+impl DesignConfig {
+    /// The paper's full proposal: `n` dedicated CRIs, concurrent progress.
+    /// (Concurrent *matching* additionally requires the application to use
+    /// one communicator per thread pair, as in Fig. 3c.)
+    pub fn proposed(num_instances: usize) -> Self {
+        Self {
+            num_instances,
+            assignment: Assignment::Dedicated,
+            progress: ProgressMode::Concurrent,
+            ..Self::default()
+        }
+    }
+}
+
+/// Named design points used in the paper's Fig. 5 comparison.
+///
+/// The Intel MPI and MPICH entries are *emulations of those
+/// implementations' documented threading designs* (a global critical
+/// section protecting communication and progress), not their code; see
+/// DESIGN.md §1. Process-mode entries use single-threaded ranks, where all
+/// implementations behave alike up to constant factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignPreset {
+    /// Open MPI in process mode (communication between processes).
+    OmpiProcess,
+    /// Open MPI 4.0 threaded baseline: 1 instance, serial progress.
+    OmpiThread,
+    /// Baseline plus multiple CRIs with dedicated assignment ("OMPI Thread
+    /// + CRIs", dark red in Fig. 5).
+    OmpiThreadCris,
+    /// CRIs plus concurrent progress plus concurrent matching ("OMPI Thread
+    /// + CRIs*", black dotted in Fig. 5). Requires a communicator per pair.
+    OmpiThreadCrisStar,
+    /// Intel-MPI-like threaded design: global critical section.
+    ImpiThreadEmulated,
+    /// MPICH-like threaded design: global critical section plus a single
+    /// global matching queue.
+    MpichThreadEmulated,
+    /// Intel-MPI-like process mode (same machinery as `OmpiProcess`).
+    ImpiProcessEmulated,
+    /// MPICH-like process mode.
+    MpichProcessEmulated,
+}
+
+impl DesignPreset {
+    /// All presets, in the order Fig. 5's legend lists them.
+    pub const ALL: [DesignPreset; 8] = [
+        DesignPreset::OmpiProcess,
+        DesignPreset::OmpiThread,
+        DesignPreset::OmpiThreadCris,
+        DesignPreset::OmpiThreadCrisStar,
+        DesignPreset::ImpiProcessEmulated,
+        DesignPreset::ImpiThreadEmulated,
+        DesignPreset::MpichProcessEmulated,
+        DesignPreset::MpichThreadEmulated,
+    ];
+
+    /// Whether this preset runs in process mode (pairs of single-threaded
+    /// ranks) rather than thread mode (two ranks, many threads).
+    pub fn is_process_mode(self) -> bool {
+        matches!(
+            self,
+            DesignPreset::OmpiProcess
+                | DesignPreset::ImpiProcessEmulated
+                | DesignPreset::MpichProcessEmulated
+        )
+    }
+
+    /// Series label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignPreset::OmpiProcess => "OMPI Process",
+            DesignPreset::OmpiThread => "OMPI Thread",
+            DesignPreset::OmpiThreadCris => "OMPI Thread + CRIs",
+            DesignPreset::OmpiThreadCrisStar => "OMPI Thread + CRIs*",
+            DesignPreset::ImpiThreadEmulated => "IMPI Thread",
+            DesignPreset::ImpiProcessEmulated => "IMPI Process",
+            DesignPreset::MpichThreadEmulated => "MPICH Thread",
+            DesignPreset::MpichProcessEmulated => "MPICH Process",
+        }
+    }
+
+    /// The design configuration this preset denotes. `num_instances` scales
+    /// resource-replicating presets (ignored by the fixed designs).
+    pub fn config(self, num_instances: usize) -> DesignConfig {
+        match self {
+            DesignPreset::OmpiProcess
+            | DesignPreset::ImpiProcessEmulated
+            | DesignPreset::MpichProcessEmulated => DesignConfig {
+                num_instances: 1,
+                ..DesignConfig::default()
+            },
+            DesignPreset::OmpiThread => DesignConfig::default(),
+            DesignPreset::OmpiThreadCris => DesignConfig {
+                num_instances,
+                assignment: Assignment::Dedicated,
+                ..DesignConfig::default()
+            },
+            DesignPreset::OmpiThreadCrisStar => DesignConfig {
+                num_instances,
+                assignment: Assignment::Dedicated,
+                progress: ProgressMode::Concurrent,
+                ..DesignConfig::default()
+            },
+            DesignPreset::ImpiThreadEmulated => DesignConfig {
+                lock_model: LockModel::GlobalCriticalSection,
+                ..DesignConfig::default()
+            },
+            DesignPreset::MpichThreadEmulated => DesignConfig {
+                lock_model: LockModel::GlobalCriticalSection,
+                matching: MatchMode::Global,
+                ..DesignConfig::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_original_ompi_design() {
+        let d = DesignConfig::default();
+        assert_eq!(d.num_instances, 1);
+        assert_eq!(d.progress, ProgressMode::Serial);
+        assert_eq!(d.matching, MatchMode::PerCommunicator);
+        assert_eq!(d.lock_model, LockModel::PerInstance);
+        assert!(!d.allow_overtaking);
+    }
+
+    #[test]
+    fn proposed_design_enables_the_papers_machinery() {
+        let d = DesignConfig::proposed(20);
+        assert_eq!(d.num_instances, 20);
+        assert_eq!(d.assignment, Assignment::Dedicated);
+        assert_eq!(d.progress, ProgressMode::Concurrent);
+    }
+
+    #[test]
+    fn presets_cover_fig5_series() {
+        assert_eq!(DesignPreset::ALL.len(), 8);
+        let labels: Vec<_> = DesignPreset::ALL.iter().map(|p| p.label()).collect();
+        assert!(labels.contains(&"OMPI Thread + CRIs*"));
+        // Process presets are single-instance.
+        for p in DesignPreset::ALL {
+            if p.is_process_mode() {
+                assert_eq!(p.config(20).num_instances, 1);
+            }
+        }
+        // MPICH emulation uses the global queue.
+        assert_eq!(
+            DesignPreset::MpichThreadEmulated.config(1).matching,
+            MatchMode::Global
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for the runtime.
+
+use std::fmt;
+
+/// Errors surfaced by `fairmpi` operations, loosely mirroring MPI error
+/// classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank outside the communicator (`MPI_ERR_RANK`).
+    InvalidRank(i32),
+    /// User tag outside the valid (non-negative) range (`MPI_ERR_TAG`).
+    InvalidTag(i32),
+    /// Unknown communicator id (`MPI_ERR_COMM`).
+    InvalidComm(u32),
+    /// Message longer than the posted receive buffer (`MPI_ERR_TRUNCATE`).
+    Truncated {
+        /// Bytes the sender shipped.
+        message_len: usize,
+        /// Capacity the receive posted.
+        capacity: usize,
+    },
+    /// The request token does not name a live request (`MPI_ERR_REQUEST`).
+    InvalidRequest(u64),
+    /// The request was cancelled before completion.
+    Cancelled,
+    /// A window access fell outside the window (`MPI_ERR_RMA_RANGE`).
+    WindowOutOfRange {
+        /// First byte accessed.
+        offset: usize,
+        /// Bytes accessed.
+        len: usize,
+        /// Window size.
+        window_len: usize,
+    },
+    /// Unknown window id (`MPI_ERR_WIN`).
+    InvalidWindow(u64),
+    /// An RMA op on a misaligned offset for a typed atomic operation.
+    MisalignedAtomic(usize),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            MpiError::InvalidTag(t) => write!(f, "invalid tag {t} (user tags must be >= 0)"),
+            MpiError::InvalidComm(c) => write!(f, "invalid communicator id {c}"),
+            MpiError::Truncated {
+                message_len,
+                capacity,
+            } => write!(
+                f,
+                "message of {message_len} bytes truncated by {capacity}-byte receive"
+            ),
+            MpiError::InvalidRequest(t) => write!(f, "invalid request token {t}"),
+            MpiError::Cancelled => write!(f, "request was cancelled"),
+            MpiError::WindowOutOfRange {
+                offset,
+                len,
+                window_len,
+            } => write!(
+                f,
+                "RMA access [{offset}, {}) outside window of {window_len} bytes",
+                offset + len
+            ),
+            MpiError::InvalidWindow(w) => write!(f, "invalid window id {w}"),
+            MpiError::MisalignedAtomic(off) => {
+                write!(f, "atomic RMA op at misaligned offset {off}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpiError::Truncated {
+            message_len: 100,
+            capacity: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10"));
+        assert!(MpiError::InvalidRank(-3).to_string().contains("-3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MpiError::Cancelled, MpiError::Cancelled);
+        assert_ne!(MpiError::InvalidRank(0), MpiError::InvalidRank(1));
+    }
+}

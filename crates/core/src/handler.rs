@@ -1,0 +1,191 @@
+//! The runtime's progress callbacks: what happens to extracted packets and
+//! completion events.
+
+use fairmpi_fabric::{Completion, CompletionKind, Envelope, Packet, PacketKind, Rank};
+use fairmpi_matching::MatchEvent;
+use fairmpi_progress::ProgressHandler;
+use fairmpi_spc::Counter;
+
+use crate::error::MpiError;
+use crate::proc::ProcState;
+use crate::request::Message;
+use crate::rma::WindowId;
+
+impl ProcState {
+    /// Inject a packet on an instance chosen by the configured assignment.
+    /// Does *not* take the big lock: callers on the progress path already
+    /// hold it, callers on the API path take it around the whole call.
+    pub(crate) fn send_packet(&self, packet: Packet, token: u64) {
+        let k = self.pool.instance_id(self.design.assignment);
+        let guard = self.pool.instance(k).lock(&self.spc);
+        guard.send(&self.fabric, packet, token, &self.spc);
+    }
+
+    /// Route a matchable packet (eager or rendezvous-RTS) through the
+    /// matching engine and complete whatever it produced.
+    fn handle_matchable(&self, packet: Packet) -> usize {
+        let comm = packet.envelope.comm;
+        let mut events = Vec::new();
+        let delivered = self.with_matcher(comm, |m| m.deliver(packet, &mut events));
+        if delivered.is_err() {
+            debug_assert!(false, "packet for unknown communicator {comm}");
+            return 0;
+        }
+        let mut count = 0;
+        for ev in events {
+            count += self.complete_match(ev);
+        }
+        count
+    }
+
+    /// A matching engine event: a posted receive met its message.
+    pub(crate) fn complete_match(&self, ev: MatchEvent) -> usize {
+        let env = ev.packet.envelope;
+        match ev.packet.kind {
+            PacketKind::Eager => {
+                let Some(req) = self.requests.get(ev.token) else {
+                    debug_assert!(false, "matched token {} has no request", ev.token);
+                    return 0;
+                };
+                if ev.packet.payload.len() > req.capacity {
+                    req.fail(MpiError::Truncated {
+                        message_len: ev.packet.payload.len(),
+                        capacity: req.capacity,
+                    });
+                    return 1;
+                }
+                self.spc
+                    .add(Counter::BytesReceived, ev.packet.payload.len() as u64);
+                req.complete_with(Message {
+                    data: ev.packet.payload,
+                    src: env.src,
+                    tag: env.tag,
+                });
+                1
+            }
+            PacketKind::RendezvousRts { sender_token, .. } => {
+                // Grant the transfer: CTS back to the sender, echoing the
+                // user tag so the DATA packet can reconstruct the message
+                // identity for the receiver.
+                let cts = Packet {
+                    envelope: Envelope {
+                        src: self.rank,
+                        dst: env.src,
+                        comm: env.comm,
+                        tag: env.tag,
+                        seq: 0,
+                    },
+                    kind: PacketKind::RendezvousCts {
+                        sender_token,
+                        receiver_token: ev.token,
+                    },
+                    payload: Vec::new(),
+                };
+                self.send_packet(cts, 0);
+                // Not yet a user-visible completion.
+                0
+            }
+            _ => {
+                debug_assert!(false, "control packet reached the matcher");
+                0
+            }
+        }
+    }
+
+    /// Sender side: a CTS arrived, ship the stashed payload.
+    fn handle_cts(&self, sender_token: u64, receiver_token: u64, env: Envelope) -> usize {
+        let Some(req) = self.requests.get(sender_token) else {
+            debug_assert!(false, "CTS for unknown send request {sender_token}");
+            return 0;
+        };
+        let payload = req.stash.lock().take().unwrap_or_default();
+        let data = Packet {
+            envelope: Envelope {
+                src: self.rank,
+                dst: env.src,
+                comm: env.comm,
+                tag: env.tag,
+                seq: 0,
+            },
+            kind: PacketKind::RendezvousData { receiver_token },
+            payload,
+        };
+        // The DATA packet's send completion carries the sender's token, so
+        // draining it completes the user's send request.
+        self.send_packet(data, sender_token);
+        0
+    }
+
+    /// Receiver side: the rendezvous bulk data arrived.
+    fn handle_rendezvous_data(&self, receiver_token: u64, packet: Packet) -> usize {
+        let Some(req) = self.requests.get(receiver_token) else {
+            debug_assert!(false, "DATA for unknown recv request {receiver_token}");
+            return 0;
+        };
+        if packet.payload.len() > req.capacity {
+            req.fail(MpiError::Truncated {
+                message_len: packet.payload.len(),
+                capacity: req.capacity,
+            });
+            return 1;
+        }
+        self.spc
+            .add(Counter::BytesReceived, packet.payload.len() as u64);
+        self.spc.inc(Counter::MessagesReceived);
+        req.complete_with(Message {
+            data: packet.payload,
+            src: packet.envelope.src,
+            tag: packet.envelope.tag,
+        });
+        1
+    }
+}
+
+impl ProgressHandler for ProcState {
+    fn on_packet(&self, packet: Packet) -> usize {
+        match packet.kind {
+            PacketKind::Eager | PacketKind::RendezvousRts { .. } => self.handle_matchable(packet),
+            PacketKind::RendezvousCts {
+                sender_token,
+                receiver_token,
+            } => self.handle_cts(sender_token, receiver_token, packet.envelope),
+            PacketKind::RendezvousData { receiver_token } => {
+                self.handle_rendezvous_data(receiver_token, packet)
+            }
+        }
+    }
+
+    fn on_completion(&self, completion: Completion) -> usize {
+        match completion.kind {
+            CompletionKind::SendDone => {
+                // Token 0 marks control packets with no request behind them.
+                if completion.token == 0 {
+                    return 0;
+                }
+                let Some(req) = self.requests.get(completion.token) else {
+                    // The request may already have been reaped by `wait`.
+                    return 0;
+                };
+                req.complete_send();
+                1
+            }
+            CompletionKind::RmaDone => {
+                let window = WindowId((completion.token >> 32) as u32);
+                let target = (completion.token & 0xffff_ffff) as Rank;
+                match self.windows.get(window) {
+                    Ok(win) => {
+                        win.pending_dec(self.rank, target);
+                        1
+                    }
+                    Err(_) => {
+                        // Window freed with ops in flight; nothing to do.
+                        0
+                    }
+                }
+            }
+            // Present in the fabric vocabulary for alternative designs;
+            // this runtime returns get/fetch results synchronously.
+            CompletionKind::RmaGetDone(_) | CompletionKind::RmaFetchDone(_) => 0,
+        }
+    }
+}

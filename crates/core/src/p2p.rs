@@ -1,0 +1,280 @@
+//! Two-sided point-to-point operations.
+
+use fairmpi_fabric::{Envelope, Packet, PacketKind, Rank, Tag, ANY_SOURCE, ANY_TAG};
+use fairmpi_matching::{PostOutcome, PostedRecv};
+use fairmpi_spc::Counter;
+
+use crate::comm::Communicator;
+use crate::error::{MpiError, Result};
+use crate::proc::Proc;
+use crate::request::{Message, Request};
+
+impl Proc {
+    fn validate_send(&self, dst: Rank, tag: Tag) -> Result<()> {
+        self.state.validate_rank(dst)?;
+        if tag < 0 {
+            return Err(MpiError::InvalidTag(tag));
+        }
+        Ok(())
+    }
+
+    fn validate_recv(&self, src: i32, tag: Tag) -> Result<()> {
+        if src != ANY_SOURCE {
+            if src < 0 {
+                return Err(MpiError::InvalidRank(src));
+            }
+            self.state.validate_rank(src as Rank)?;
+        }
+        if tag < 0 && tag != ANY_TAG {
+            return Err(MpiError::InvalidTag(tag));
+        }
+        Ok(())
+    }
+
+    /// Nonblocking send (`MPI_Isend`).
+    ///
+    /// Messages at most the fabric's eager threshold travel with their
+    /// envelope; longer ones use the rendezvous protocol (RTS/CTS/DATA).
+    /// Either way the payload is captured immediately, so the buffer is
+    /// reusable on return — completion of the request signals that the
+    /// runtime handed everything to the network.
+    pub fn isend(&self, buf: &[u8], dst: Rank, tag: Tag, comm: Communicator) -> Result<Request> {
+        self.validate_send(dst, tag)?;
+        self.isend_unchecked(buf, dst, tag, comm)
+    }
+
+    /// `isend` without user-tag validation; collectives use it with
+    /// reserved negative tags that wildcard receives can never match.
+    pub(crate) fn isend_unchecked(
+        &self,
+        buf: &[u8],
+        dst: Rank,
+        tag: Tag,
+        comm: Communicator,
+    ) -> Result<Request> {
+        let st = &self.state;
+        let cs = st.comm_state(comm.id)?;
+        if dst as usize >= cs.size {
+            return Err(MpiError::InvalidRank(dst as i32));
+        }
+        let eager = buf.len() <= st.fabric.config().eager_threshold;
+        let req = if eager {
+            st.requests.new_send(st.rank, tag, None)
+        } else {
+            st.requests.new_send(st.rank, tag, Some(buf.to_vec()))
+        };
+
+        // Sequence assignment happens outside the instance lock — the race
+        // between drawing a number and injecting the packet is the origin
+        // of out-of-sequence arrivals under thread concurrency.
+        let seq = cs.sequencer.next(dst);
+        let envelope = Envelope {
+            src: st.rank,
+            dst,
+            comm: comm.id,
+            tag,
+            seq,
+        };
+
+        let _big = st.maybe_big_lock();
+        if eager {
+            st.spc.inc(Counter::EagerSends);
+            st.send_packet(Packet::eager(envelope, buf.to_vec()), req.token);
+        } else {
+            st.spc.inc(Counter::RendezvousSends);
+            let rts = Packet {
+                envelope,
+                kind: PacketKind::RendezvousRts {
+                    len: buf.len(),
+                    sender_token: req.token,
+                },
+                payload: Vec::new(),
+            };
+            st.send_packet(rts, 0);
+        }
+        Ok(Request { token: req.token })
+    }
+
+    /// Blocking send (`MPI_Send`): `isend` + `wait`.
+    pub fn send(&self, buf: &[u8], dst: Rank, tag: Tag, comm: Communicator) -> Result<()> {
+        let req = self.isend(buf, dst, tag, comm)?;
+        self.wait(&req).map(|_| ())
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`) into an internal buffer of
+    /// `capacity` bytes. `src` may be [`ANY_SOURCE`], `tag` may be
+    /// [`ANY_TAG`]. The message is returned by [`Proc::wait`].
+    pub fn irecv(&self, capacity: usize, src: i32, tag: Tag, comm: Communicator) -> Result<Request> {
+        self.validate_recv(src, tag)?;
+        self.irecv_unchecked(capacity, src, tag, comm)
+    }
+
+    /// `irecv` without user-tag validation (reserved-tag collectives).
+    pub(crate) fn irecv_unchecked(
+        &self,
+        capacity: usize,
+        src: i32,
+        tag: Tag,
+        comm: Communicator,
+    ) -> Result<Request> {
+        let st = &self.state;
+        st.comm_state(comm.id)?;
+        let req = st.requests.new_recv(capacity);
+        let posted = PostedRecv {
+            token: req.token,
+            comm: comm.id,
+            src,
+            tag,
+        };
+        let _big = st.maybe_big_lock();
+        let (outcome, _work) = st.with_matcher(comm.id, |m| m.post_recv(posted))?;
+        if let PostOutcome::Matched(packet) = outcome {
+            // An unexpected message was already waiting; complete (or, for
+            // a rendezvous RTS, grant) it right here.
+            st.complete_match(fairmpi_matching::MatchEvent {
+                token: req.token,
+                packet,
+            });
+        }
+        Ok(Request { token: req.token })
+    }
+
+    /// Blocking receive (`MPI_Recv`): `irecv` + `wait`.
+    pub fn recv(&self, capacity: usize, src: i32, tag: Tag, comm: Communicator) -> Result<Message> {
+        let req = self.irecv(capacity, src, tag, comm)?;
+        self.wait(&req)
+    }
+
+    /// Block until a request completes (`MPI_Wait`), progressing the
+    /// engine while waiting. Send requests yield an empty acknowledgment
+    /// message; receive requests yield the received message.
+    pub fn wait(&self, request: &Request) -> Result<Message> {
+        let st = &self.state;
+        let inner = st
+            .requests
+            .get(request.token)
+            .ok_or(MpiError::InvalidRequest(request.token))?;
+        let mut idle_spins = 0u32;
+        while !inner.is_done() {
+            if st.progress_once() == 0 {
+                idle_spins += 1;
+                if idle_spins > 64 {
+                    std::thread::yield_now();
+                }
+            } else {
+                idle_spins = 0;
+            }
+        }
+        st.requests.remove(request.token);
+        inner.take_outcome()
+    }
+
+    /// Nonblocking completion test (`MPI_Test`). Returns `Ok(Some(msg))`
+    /// and reaps the request when complete; `Ok(None)` otherwise (after one
+    /// progress pass).
+    pub fn test(&self, request: &Request) -> Result<Option<Message>> {
+        let st = &self.state;
+        let inner = st
+            .requests
+            .get(request.token)
+            .ok_or(MpiError::InvalidRequest(request.token))?;
+        if !inner.is_done() {
+            st.progress_once();
+        }
+        if inner.is_done() {
+            st.requests.remove(request.token);
+            inner.take_outcome().map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Wait for every request (`MPI_Waitall`); outcomes in request order.
+    pub fn waitall(&self, requests: &[Request]) -> Result<Vec<Message>> {
+        requests.iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Wait for *one* of the requests to complete (`MPI_Waitany`),
+    /// returning its index and outcome and reaping only that request.
+    pub fn wait_any(&self, requests: &[Request]) -> Result<(usize, Message)> {
+        let st = &self.state;
+        if requests.is_empty() {
+            return Err(MpiError::InvalidRequest(0));
+        }
+        let inners: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                st.requests
+                    .get(r.token)
+                    .ok_or(MpiError::InvalidRequest(r.token))
+            })
+            .collect::<Result<_>>()?;
+        loop {
+            for (i, inner) in inners.iter().enumerate() {
+                if inner.is_done() {
+                    st.requests.remove(requests[i].token);
+                    return inner.take_outcome().map(|m| (i, m));
+                }
+            }
+            if st.progress_once() == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Blocking probe (`MPI_Probe`): wait until a matching message is
+    /// enqueued unexpected, returning `(src, tag)` without receiving it.
+    pub fn probe(&self, src: i32, tag: Tag, comm: Communicator) -> Result<(Rank, Tag)> {
+        loop {
+            if let Some(found) = self.iprobe(src, tag, comm)? {
+                return Ok(found);
+            }
+            if self.state.progress_once() == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Nonblocking probe (`MPI_Iprobe`).
+    pub fn iprobe(&self, src: i32, tag: Tag, comm: Communicator) -> Result<Option<(Rank, Tag)>> {
+        self.validate_recv(src, tag)?;
+        self.state
+            .with_matcher(comm.id, |m| m.iprobe(comm.id, src, tag).map(|e| (e.src, e.tag)))
+    }
+
+    /// Cancel a pending receive (`MPI_Cancel`). Returns true if the receive
+    /// was still posted (and is now cancelled); false if it already matched.
+    pub fn cancel_recv(&self, request: &Request, comm: Communicator) -> Result<bool> {
+        let st = &self.state;
+        let inner = st
+            .requests
+            .get(request.token)
+            .ok_or(MpiError::InvalidRequest(request.token))?;
+        if inner.is_cancelled() {
+            return Ok(true);
+        }
+        let removed = st.with_matcher(comm.id, |m| m.cancel(request.token))?;
+        if removed {
+            inner.cancel();
+        }
+        Ok(removed)
+    }
+
+    /// Combined send and receive (`MPI_Sendrecv`).
+    pub fn sendrecv(
+        &self,
+        send_buf: &[u8],
+        dst: Rank,
+        send_tag: Tag,
+        recv_capacity: usize,
+        src: i32,
+        recv_tag: Tag,
+        comm: Communicator,
+    ) -> Result<Message> {
+        let rreq = self.irecv(recv_capacity, src, recv_tag, comm)?;
+        let sreq = self.isend(send_buf, dst, send_tag, comm)?;
+        let msg = self.wait(&rreq)?;
+        self.wait(&sreq)?;
+        Ok(msg)
+    }
+}

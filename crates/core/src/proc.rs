@@ -1,0 +1,328 @@
+//! Per-rank runtime state and the public `Proc` handle.
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fairmpi_cri::CriPool;
+use fairmpi_fabric::{busy_wait_ns, CommId, Completion, CompletionKind, Fabric, Rank};
+use fairmpi_matching::Matcher;
+use fairmpi_progress::ProgressEngine;
+use fairmpi_spc::{Counter, SpcSet, SpcSnapshot};
+
+use crate::comm::CommState;
+use crate::design::{DesignConfig, LockModel, MatchMode};
+use crate::error::{MpiError, Result};
+use crate::request::RequestTable;
+use crate::rma::{AccumulateOp, Window, WindowId, WindowRegistry, WindowState};
+
+/// Handle to one simulated MPI process. Cloneable and `Send + Sync`; any
+/// number of OS threads may drive the same rank concurrently
+/// (`MPI_THREAD_MULTIPLE`).
+#[derive(Clone)]
+pub struct Proc {
+    pub(crate) state: Arc<ProcState>,
+}
+
+impl Proc {
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.state.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn num_ranks(&self) -> usize {
+        self.state.num_ranks
+    }
+
+    /// The design configuration this world runs.
+    pub fn design(&self) -> &DesignConfig {
+        &self.state.design
+    }
+
+    /// Live software performance counters of this rank.
+    pub fn spc(&self) -> &Arc<SpcSet> {
+        &self.state.spc
+    }
+
+    /// Snapshot this rank's counters.
+    pub fn spc_snapshot(&self) -> SpcSnapshot {
+        self.state.spc.snapshot()
+    }
+
+    /// Make one explicit progress pass (usually unnecessary: blocking calls
+    /// progress internally).
+    pub fn progress(&self) -> usize {
+        self.state.progress_once()
+    }
+
+    /// Whether a communicator was created with
+    /// `mpi_assert_allow_overtaking` (paper §IV-D).
+    pub fn comm_allows_overtaking(&self, comm: crate::Communicator) -> Result<bool> {
+        Ok(self.state.comm_state(comm.id)?.allow_overtaking)
+    }
+
+    /// Number of requests currently live on this rank (diagnostics).
+    pub fn pending_requests(&self) -> usize {
+        self.state.requests.len()
+    }
+
+    /// Resolve a window id into a handle bound to this rank.
+    pub fn window(&self, id: WindowId) -> Result<Window> {
+        let state = self.state.windows.get(id)?;
+        Ok(Window {
+            state,
+            proc: self.clone(),
+        })
+    }
+
+    /// Drop this thread's dedicated CRI binding (models a communicating
+    /// thread exiting; its instance becomes an orphan other threads must
+    /// keep progressing).
+    pub fn forget_dedicated_instance(&self) {
+        self.state.pool.forget_dedicated();
+    }
+}
+
+/// Internal state of one rank.
+pub(crate) struct ProcState {
+    pub(crate) rank: Rank,
+    pub(crate) num_ranks: usize,
+    pub(crate) design: DesignConfig,
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) pool: Arc<CriPool>,
+    pub(crate) engine: ProgressEngine,
+    pub(crate) spc: Arc<SpcSet>,
+    pub(crate) requests: RequestTable,
+    pub(crate) comms: RwLock<HashMap<CommId, Arc<CommState>>>,
+    /// Single process-wide matcher for [`MatchMode::Global`] designs.
+    pub(crate) global_matcher: Mutex<Matcher>,
+    /// Process-wide critical section for big-lock design emulations.
+    pub(crate) big_lock: Mutex<()>,
+    pub(crate) windows: Arc<WindowRegistry>,
+}
+
+impl ProcState {
+    pub(crate) fn new(
+        rank: Rank,
+        num_ranks: usize,
+        design: DesignConfig,
+        fabric: Arc<Fabric>,
+        windows: Arc<WindowRegistry>,
+    ) -> Arc<Self> {
+        let spc = Arc::new(SpcSet::new());
+        let pool = Arc::new(CriPool::new(
+            &fabric,
+            rank,
+            design.num_instances,
+            Arc::clone(&spc),
+        ));
+        let engine = ProgressEngine::new(
+            Arc::clone(&pool),
+            design.progress,
+            fabric.config().extraction_overhead_ns,
+        );
+        Arc::new(Self {
+            rank,
+            num_ranks,
+            design,
+            fabric,
+            pool,
+            engine,
+            spc: Arc::clone(&spc),
+            requests: RequestTable::new(),
+            comms: RwLock::new(HashMap::new()),
+            global_matcher: Mutex::new(Matcher::new(spc, design.allow_overtaking)),
+            big_lock: Mutex::new(()),
+            windows,
+        })
+    }
+
+    /// Register a communicator's per-rank state.
+    pub(crate) fn register_comm(&self, state: Arc<CommState>) {
+        self.comms.write().insert(state.id, state);
+    }
+
+    pub(crate) fn comm_state(&self, id: CommId) -> Result<Arc<CommState>> {
+        self.comms
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(MpiError::InvalidComm(id))
+    }
+
+    /// Hold the process-global critical section when emulating big-lock
+    /// designs; free otherwise.
+    pub(crate) fn maybe_big_lock(&self) -> Option<MutexGuard<'_, ()>> {
+        match self.design.lock_model {
+            LockModel::GlobalCriticalSection => Some(self.big_lock.lock()),
+            LockModel::PerInstance => None,
+        }
+    }
+
+    /// Run `f` holding the appropriate matching lock, charging the time to
+    /// the match-time counter (lock acquisition included — contention on
+    /// the matching lock is exactly what Table II's match time exposes).
+    pub(crate) fn with_matcher<R>(
+        &self,
+        comm: CommId,
+        f: impl FnOnce(&mut Matcher) -> R,
+    ) -> Result<R> {
+        let timer = fairmpi_spc::ScopedTimer::new(&self.spc, Counter::MatchTimeNanos);
+        let result = match self.design.matching {
+            MatchMode::Global => {
+                let mut m = self.global_matcher.lock();
+                f(&mut m)
+            }
+            MatchMode::PerCommunicator => {
+                let cs = self.comm_state(comm)?;
+                let mut m = cs.matcher.lock();
+                f(&mut m)
+            }
+        };
+        drop(timer);
+        Ok(result)
+    }
+
+    /// One progress pass under the configured design.
+    pub(crate) fn progress_once(&self) -> usize {
+        let _big = self.maybe_big_lock();
+        self.engine.progress(self.design.assignment, self)
+    }
+
+    pub(crate) fn validate_rank(&self, rank: Rank) -> Result<()> {
+        if (rank as usize) < self.num_ranks {
+            Ok(())
+        } else {
+            Err(MpiError::InvalidRank(rank as i32))
+        }
+    }
+
+    // ---- one-sided implementation (called from `Window`) ----
+
+    /// Charge the origin-side cost of moving `len` payload bytes and return
+    /// with the acquired instance still locked.
+    fn rma_inject(&self, payload_len: usize) -> fairmpi_cri::CriGuard<'_> {
+        let k = self.pool.instance_id(self.design.assignment);
+        let guard = self.pool.instance(k).lock(&self.spc);
+        let cfg = self.fabric.config();
+        busy_wait_ns(
+            cfg.injection_overhead_ns
+                .max(cfg.serialization_time_ns(payload_len)),
+        );
+        guard
+    }
+
+    fn rma_token(win: &WindowState, target: Rank) -> u64 {
+        ((win.id.0 as u64) << 32) | target as u64
+    }
+
+    pub(crate) fn rma_put(&self, win: &Arc<WindowState>, target: Rank, offset: usize, data: &[u8]) {
+        let _big = self.maybe_big_lock();
+        let guard = self.rma_inject(data.len());
+        win.store_bytes(target, offset, data);
+        win.pending_inc(self.rank, target);
+        guard.post_completion(Completion {
+            token: Self::rma_token(win, target),
+            kind: CompletionKind::RmaDone,
+        });
+        self.spc.inc(Counter::RmaPuts);
+        self.spc.add(Counter::BytesSent, data.len() as u64);
+    }
+
+    pub(crate) fn rma_get(
+        &self,
+        win: &Arc<WindowState>,
+        target: Rank,
+        offset: usize,
+        len: usize,
+    ) -> Vec<u8> {
+        let _big = self.maybe_big_lock();
+        let guard = self.rma_inject(len);
+        let data = win.load_bytes(target, offset, len);
+        win.pending_inc(self.rank, target);
+        guard.post_completion(Completion {
+            token: Self::rma_token(win, target),
+            kind: CompletionKind::RmaDone,
+        });
+        self.spc.inc(Counter::RmaGets);
+        self.spc.add(Counter::BytesReceived, len as u64);
+        data
+    }
+
+    pub(crate) fn rma_accumulate(
+        &self,
+        win: &Arc<WindowState>,
+        target: Rank,
+        offset: usize,
+        lanes: &[u64],
+        op: AccumulateOp,
+    ) {
+        let _big = self.maybe_big_lock();
+        let guard = self.rma_inject(lanes.len() * 8);
+        win.accumulate_u64(target, offset, lanes, op);
+        win.pending_inc(self.rank, target);
+        guard.post_completion(Completion {
+            token: Self::rma_token(win, target),
+            kind: CompletionKind::RmaDone,
+        });
+        self.spc.inc(Counter::RmaAccumulates);
+    }
+
+    pub(crate) fn rma_fetch_op(
+        &self,
+        win: &Arc<WindowState>,
+        target: Rank,
+        offset: usize,
+        value: u64,
+    ) -> u64 {
+        let _big = self.maybe_big_lock();
+        let guard = self.rma_inject(8);
+        let prev = win.accumulate_u64(target, offset, &[value], AccumulateOp::Sum);
+        win.pending_inc(self.rank, target);
+        guard.post_completion(Completion {
+            token: Self::rma_token(win, target),
+            kind: CompletionKind::RmaDone,
+        });
+        self.spc.inc(Counter::RmaAccumulates);
+        prev
+    }
+
+    pub(crate) fn rma_compare_swap(
+        &self,
+        win: &Arc<WindowState>,
+        target: Rank,
+        offset: usize,
+        compare: u64,
+        swap: u64,
+    ) -> u64 {
+        let _big = self.maybe_big_lock();
+        let guard = self.rma_inject(8);
+        let prev = win.compare_swap_u64(target, offset, compare, swap);
+        win.pending_inc(self.rank, target);
+        guard.post_completion(Completion {
+            token: Self::rma_token(win, target),
+            kind: CompletionKind::RmaDone,
+        });
+        self.spc.inc(Counter::RmaAccumulates);
+        prev
+    }
+
+    /// Progress until this rank's outstanding RMA ops (toward `target`, or
+    /// all targets) have drained.
+    pub(crate) fn rma_flush(&self, win: &Arc<WindowState>, target: Option<Rank>) {
+        loop {
+            let pending = match target {
+                Some(t) => win.pending_toward(self.rank, t),
+                None => win.pending_total(self.rank),
+            };
+            if pending == 0 {
+                break;
+            }
+            if self.progress_once() == 0 {
+                std::thread::yield_now();
+            }
+        }
+        self.spc.inc(Counter::RmaFlushes);
+    }
+}

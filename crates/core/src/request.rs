@@ -1,0 +1,275 @@
+//! Requests: the handles behind nonblocking operations.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use fairmpi_fabric::{Rank, Tag};
+
+use crate::error::MpiError;
+
+/// A completed point-to-point message, as returned by [`crate::Proc::recv`]
+/// and [`crate::Proc::wait`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Sending rank (useful with `ANY_SOURCE`).
+    pub src: Rank,
+    /// Message tag (useful with `ANY_TAG`).
+    pub tag: Tag,
+}
+
+impl Message {
+    /// The acknowledgment returned when waiting on a *send* request.
+    pub(crate) fn send_ack(src: Rank, tag: Tag) -> Self {
+        Self {
+            data: Vec::new(),
+            src,
+            tag,
+        }
+    }
+}
+
+/// Opaque handle to a pending nonblocking operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Request {
+    pub(crate) token: u64,
+}
+
+/// What a request is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReqKind {
+    Send,
+    Recv,
+}
+
+const PENDING: u8 = 0;
+const COMPLETE: u8 = 1;
+const CANCELLED: u8 = 2;
+const FAILED: u8 = 3;
+
+/// Shared state of one in-flight operation.
+#[derive(Debug)]
+pub(crate) struct RequestInner {
+    pub(crate) token: u64,
+    pub(crate) kind: ReqKind,
+    status: AtomicU8,
+    /// Receive-buffer capacity (recv requests only).
+    pub(crate) capacity: usize,
+    /// Identity of the requester, for send acks.
+    pub(crate) src: Rank,
+    pub(crate) tag: Tag,
+    /// Completed message (recv) — filled exactly once at completion.
+    payload: Mutex<Option<Message>>,
+    /// Rendezvous send payload parked until the CTS arrives.
+    pub(crate) stash: Mutex<Option<Vec<u8>>>,
+    /// Failure cause, if the request errored.
+    error: Mutex<Option<MpiError>>,
+}
+
+impl RequestInner {
+    pub(crate) fn is_done(&self) -> bool {
+        self.status.load(Ordering::Acquire) != PENDING
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.status.load(Ordering::Acquire) == CANCELLED
+    }
+
+    /// Mark complete with a received message.
+    pub(crate) fn complete_with(&self, msg: Message) {
+        *self.payload.lock() = Some(msg);
+        self.status.store(COMPLETE, Ordering::Release);
+    }
+
+    /// Mark a send complete.
+    pub(crate) fn complete_send(&self) {
+        self.status.store(COMPLETE, Ordering::Release);
+    }
+
+    /// Mark cancelled.
+    pub(crate) fn cancel(&self) {
+        self.status.store(CANCELLED, Ordering::Release);
+    }
+
+    /// Mark failed.
+    pub(crate) fn fail(&self, err: MpiError) {
+        *self.error.lock() = Some(err);
+        self.status.store(FAILED, Ordering::Release);
+    }
+
+    /// Consume the outcome of a finished request.
+    pub(crate) fn take_outcome(&self) -> Result<Message, MpiError> {
+        match self.status.load(Ordering::Acquire) {
+            COMPLETE => match self.kind {
+                ReqKind::Recv => Ok(self
+                    .payload
+                    .lock()
+                    .take()
+                    .expect("completed recv carries a message")),
+                ReqKind::Send => Ok(Message::send_ack(self.src, self.tag)),
+            },
+            CANCELLED => Err(MpiError::Cancelled),
+            FAILED => Err(self
+                .error
+                .lock()
+                .clone()
+                .expect("failed request carries an error")),
+            _ => unreachable!("take_outcome on a pending request"),
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// The per-rank table of live requests, sharded to keep token lookups off
+/// the contended paths.
+#[derive(Debug)]
+pub(crate) struct RequestTable {
+    next_token: AtomicU64,
+    shards: Vec<Mutex<HashMap<u64, Arc<RequestInner>>>>,
+}
+
+impl RequestTable {
+    pub(crate) fn new() -> Self {
+        Self {
+            next_token: AtomicU64::new(1),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, token: u64) -> &Mutex<HashMap<u64, Arc<RequestInner>>> {
+        &self.shards[(token as usize) % SHARDS]
+    }
+
+    fn insert(&self, inner: RequestInner) -> Arc<RequestInner> {
+        let token = inner.token;
+        let arc = Arc::new(inner);
+        self.shard(token).lock().insert(token, Arc::clone(&arc));
+        arc
+    }
+
+    /// Register a new send request; `stash` carries the payload for
+    /// rendezvous sends (None for eager).
+    pub(crate) fn new_send(
+        &self,
+        src: Rank,
+        tag: Tag,
+        stash: Option<Vec<u8>>,
+    ) -> Arc<RequestInner> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.insert(RequestInner {
+            token,
+            kind: ReqKind::Send,
+            status: AtomicU8::new(PENDING),
+            capacity: 0,
+            src,
+            tag,
+            payload: Mutex::new(None),
+            stash: Mutex::new(stash),
+            error: Mutex::new(None),
+        })
+    }
+
+    /// Register a new receive request with the given buffer capacity.
+    pub(crate) fn new_recv(&self, capacity: usize) -> Arc<RequestInner> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.insert(RequestInner {
+            token,
+            kind: ReqKind::Recv,
+            status: AtomicU8::new(PENDING),
+            capacity,
+            src: 0,
+            tag: 0,
+            payload: Mutex::new(None),
+            stash: Mutex::new(None),
+            error: Mutex::new(None),
+        })
+    }
+
+    /// Look up a live request.
+    pub(crate) fn get(&self, token: u64) -> Option<Arc<RequestInner>> {
+        self.shard(token).lock().get(&token).cloned()
+    }
+
+    /// Drop a request from the table (after its outcome is consumed).
+    pub(crate) fn remove(&self, token: u64) {
+        self.shard(token).lock().remove(&token);
+    }
+
+    /// Number of live requests (diagnostics).
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_unique_and_monotone() {
+        let t = RequestTable::new();
+        let a = t.new_send(0, 0, None);
+        let b = t.new_recv(10);
+        assert!(b.token > a.token);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn recv_lifecycle() {
+        let t = RequestTable::new();
+        let r = t.new_recv(16);
+        assert!(!r.is_done());
+        r.complete_with(Message {
+            data: vec![1, 2],
+            src: 3,
+            tag: 4,
+        });
+        assert!(r.is_done());
+        let msg = r.take_outcome().unwrap();
+        assert_eq!(msg.data, vec![1, 2]);
+        assert_eq!(msg.src, 3);
+        t.remove(r.token);
+        assert!(t.get(r.token).is_none());
+    }
+
+    #[test]
+    fn send_outcome_is_an_ack() {
+        let t = RequestTable::new();
+        let r = t.new_send(7, 9, None);
+        r.complete_send();
+        let msg = r.take_outcome().unwrap();
+        assert!(msg.data.is_empty());
+        assert_eq!(msg.src, 7);
+        assert_eq!(msg.tag, 9);
+    }
+
+    #[test]
+    fn cancel_and_fail_propagate() {
+        let t = RequestTable::new();
+        let r = t.new_recv(4);
+        r.cancel();
+        assert_eq!(r.take_outcome().unwrap_err(), MpiError::Cancelled);
+        let r2 = t.new_recv(4);
+        r2.fail(MpiError::Truncated {
+            message_len: 8,
+            capacity: 4,
+        });
+        assert!(matches!(
+            r2.take_outcome().unwrap_err(),
+            MpiError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn stash_holds_rendezvous_payload() {
+        let t = RequestTable::new();
+        let r = t.new_send(0, 0, Some(vec![9; 100]));
+        let payload = r.stash.lock().take().unwrap();
+        assert_eq!(payload.len(), 100);
+        assert!(r.stash.lock().is_none(), "stash consumed once");
+    }
+}

@@ -1,0 +1,199 @@
+//! The fabric cost model and machine presets (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Which testbed a preset emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineKind {
+    /// University of Tennessee "Alembert": dual 10-core Haswell,
+    /// InfiniBand EDR (100 Gbps). Used for paper §IV-A through §IV-E.
+    AlembertInfinibandEdr,
+    /// LANL "Trinitite" Haswell partition: dual 16-core Haswell,
+    /// Cray Aries (100 Gbps). Used for paper Fig. 6.
+    TrinititeAriesHaswell,
+    /// LANL "Trinitite" KNL partition: 68-core Knights Landing,
+    /// Cray Aries. Used for paper Fig. 7.
+    TrinititeAriesKnl,
+}
+
+/// Parameters of the simulated interconnect.
+///
+/// The two numbers that dominate the study are the per-message **injection
+/// overhead** (the work a thread does, holding a context, to hand one
+/// descriptor to the NIC) and the **extraction overhead** (the work to pop
+/// one completion/packet). Their ratio to the matching cost determines where
+/// the two-sided bottleneck lands, which is the subject of paper Figs. 3-5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Per-message cost, in nanoseconds, of injecting a descriptor into a
+    /// network context. Charged while the instance lock is held.
+    pub injection_overhead_ns: u64,
+    /// Per-message cost of extracting one packet/completion from a context.
+    pub extraction_overhead_ns: u64,
+    /// Link bandwidth in bytes per microsecond (100 Gbps = 12_500 B/us).
+    pub bandwidth_bytes_per_us: u64,
+    /// One-way wire latency in nanoseconds.
+    pub wire_latency_ns: u64,
+    /// Maximum random extra delivery delay, in nanoseconds. Nonzero jitter
+    /// means two packets injected back-to-back on different contexts can
+    /// arrive reordered — the "networks do not provide ordering" behaviour
+    /// that makes sequence numbers necessary.
+    pub delivery_jitter_ns: u64,
+    /// Size of the matching envelope on the wire (28 B in Open MPI).
+    pub envelope_bytes: usize,
+    /// Messages at most this long are sent eagerly; longer ones use the
+    /// rendezvous protocol.
+    pub eager_threshold: usize,
+    /// Hardware cap on the number of network contexts one process may
+    /// create (`None` = unlimited). Cray Aries devices have such a limit
+    /// (paper §III-B), so CRI pools must tolerate fewer instances than
+    /// threads.
+    pub max_contexts: Option<usize>,
+}
+
+impl FabricConfig {
+    /// 100 Gbps in bytes per microsecond.
+    const GBPS100: u64 = 12_500;
+
+    /// Preset for the given machine. Overheads are calibrated so that the
+    /// simulated peak message rates land in the paper's reported ranges
+    /// (~0.5 M msg/s per single-threaded two-sided pair; tens of millions
+    /// aggregate for RMA).
+    pub fn for_machine(kind: MachineKind) -> Self {
+        match kind {
+            MachineKind::AlembertInfinibandEdr => Self {
+                injection_overhead_ns: 400,
+                extraction_overhead_ns: 300,
+                bandwidth_bytes_per_us: Self::GBPS100,
+                wire_latency_ns: 1_000,
+                delivery_jitter_ns: 600,
+                envelope_bytes: 28,
+                eager_threshold: 4 * 1024,
+                max_contexts: None,
+            },
+            MachineKind::TrinititeAriesHaswell => Self {
+                injection_overhead_ns: 350,
+                extraction_overhead_ns: 250,
+                bandwidth_bytes_per_us: Self::GBPS100,
+                wire_latency_ns: 1_200,
+                delivery_jitter_ns: 500,
+                envelope_bytes: 28,
+                eager_threshold: 4 * 1024,
+                // Aries hardware limit on communication domains.
+                max_contexts: Some(120),
+            },
+            MachineKind::TrinititeAriesKnl => Self {
+                // KNL cores are slow; per-message software overheads grow.
+                injection_overhead_ns: 900,
+                extraction_overhead_ns: 650,
+                bandwidth_bytes_per_us: Self::GBPS100,
+                wire_latency_ns: 1_500,
+                delivery_jitter_ns: 700,
+                envelope_bytes: 28,
+                eager_threshold: 4 * 1024,
+                max_contexts: Some(120),
+            },
+        }
+    }
+
+    /// A fast, low-jitter config for unit tests.
+    pub fn test_default() -> Self {
+        Self {
+            injection_overhead_ns: 0,
+            extraction_overhead_ns: 0,
+            bandwidth_bytes_per_us: Self::GBPS100,
+            wire_latency_ns: 0,
+            delivery_jitter_ns: 0,
+            envelope_bytes: 28,
+            eager_threshold: 4 * 1024,
+            max_contexts: None,
+        }
+    }
+
+    /// Nanoseconds a message of `payload_len` bytes occupies the link
+    /// (serialization time; envelope included).
+    pub fn serialization_time_ns(&self, payload_len: usize) -> u64 {
+        let bytes = (payload_len + self.envelope_bytes) as u64;
+        // bytes / (bytes/us) * 1000 ns/us, rounded up.
+        (bytes * 1_000).div_ceil(self.bandwidth_bytes_per_us)
+    }
+
+    /// The theoretical peak message rate (messages/second) for a given
+    /// payload size on one context: the inverse of the larger of injection
+    /// overhead and serialization time. This is the black horizontal line in
+    /// paper Figs. 6 and 7.
+    pub fn theoretical_peak_msg_rate(&self, payload_len: usize) -> f64 {
+        let per_msg_ns = self
+            .injection_overhead_ns
+            .max(self.serialization_time_ns(payload_len))
+            .max(1);
+        1.0e9 / per_msg_ns as f64
+    }
+
+    /// Clamp a requested context count to the hardware limit.
+    pub fn clamp_contexts(&self, requested: usize) -> usize {
+        match self.max_contexts {
+            Some(cap) => requested.min(cap).max(1),
+            None => requested.max(1),
+        }
+    }
+}
+
+impl Default for FabricConfig {
+    /// Defaults to the Alembert (InfiniBand EDR) preset, the testbed for the
+    /// paper's §IV-A through §IV-E.
+    fn default() -> Self {
+        Self::for_machine(MachineKind::AlembertInfinibandEdr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_scales_with_length() {
+        let cfg = FabricConfig::default();
+        let small = cfg.serialization_time_ns(0);
+        let large = cfg.serialization_time_ns(1 << 20);
+        assert!(small < large);
+        // 1 MiB at 12.5 GB/s is ~84 us.
+        assert!((80_000..90_000).contains(&large), "{large}");
+    }
+
+    #[test]
+    fn peak_rate_is_overhead_bound_for_small_messages() {
+        let cfg = FabricConfig::default();
+        // 0-byte: bound by the 400 ns injection overhead => 2.5 M msg/s.
+        let peak = cfg.theoretical_peak_msg_rate(0);
+        assert!((2.4e6..2.6e6).contains(&peak), "{peak}");
+    }
+
+    #[test]
+    fn peak_rate_is_bandwidth_bound_for_large_messages() {
+        let cfg = FabricConfig::default();
+        // 16 KiB at 12.5 GB/s is ~1.3 us per message; overhead is 0.4 us.
+        let peak = cfg.theoretical_peak_msg_rate(16 * 1024);
+        let serialization = cfg.serialization_time_ns(16 * 1024);
+        assert!(serialization > cfg.injection_overhead_ns);
+        assert!((1.0e9 / serialization as f64 - peak).abs() < 1.0);
+    }
+
+    #[test]
+    fn aries_presets_cap_contexts() {
+        let cfg = FabricConfig::for_machine(MachineKind::TrinititeAriesHaswell);
+        assert_eq!(cfg.clamp_contexts(4096), 120);
+        assert_eq!(cfg.clamp_contexts(32), 32);
+        assert_eq!(cfg.clamp_contexts(0), 1, "always at least one context");
+        let ib = FabricConfig::for_machine(MachineKind::AlembertInfinibandEdr);
+        assert_eq!(ib.clamp_contexts(4096), 4096);
+    }
+
+    #[test]
+    fn knl_overheads_exceed_haswell() {
+        let knl = FabricConfig::for_machine(MachineKind::TrinititeAriesKnl);
+        let hsw = FabricConfig::for_machine(MachineKind::TrinititeAriesHaswell);
+        assert!(knl.injection_overhead_ns > hsw.injection_overhead_ns);
+        assert!(knl.extraction_overhead_ns > hsw.extraction_overhead_ns);
+    }
+}

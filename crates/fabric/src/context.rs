@@ -1,0 +1,238 @@
+//! Network contexts: the resource the paper replicates into CRIs.
+
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::{Packet, Rank};
+
+/// A local completion event, reported through a context's completion queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller-assigned token identifying the operation (request id).
+    pub token: u64,
+    /// What completed.
+    pub kind: CompletionKind,
+}
+
+/// The kind of completed operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// An outgoing two-sided packet left the context.
+    SendDone,
+    /// A one-sided operation completed at the origin.
+    RmaDone,
+    /// A one-sided get completed; carries the fetched bytes.
+    RmaGetDone(Vec<u8>),
+    /// A fetch-style atomic completed; carries the previous value.
+    RmaFetchDone(u64),
+}
+
+/// One network context: an rx ring for incoming packets plus a completion
+/// queue for local events.
+///
+/// Mirroring NIC hardware, *posting* into the ring is safe from any thread
+/// (the wire does it), but *draining* must be serialized by the owner — in
+/// this design, by the CRI lock above. Debug builds verify the discipline
+/// with [`NetworkContext::begin_drain`].
+#[derive(Debug)]
+pub struct NetworkContext {
+    /// Owning rank.
+    rank: Rank,
+    /// Index of this context within the rank's context table.
+    index: usize,
+    /// Incoming packets deposited by the wire.
+    rx: SegQueue<Packet>,
+    /// Local completion events.
+    cq: SegQueue<Completion>,
+    /// Number of operations injected but not yet completed.
+    pending_ops: AtomicU64,
+    /// Debug-only guard flagging a drain in progress.
+    draining: AtomicBool,
+}
+
+impl NetworkContext {
+    pub(crate) fn new(rank: Rank, index: usize) -> Self {
+        Self {
+            rank,
+            index,
+            rx: SegQueue::new(),
+            cq: SegQueue::new(),
+            pending_ops: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Owning rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Index within the rank's context table.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Deposit an incoming packet (called by the wire / remote endpoints;
+    /// safe from any thread).
+    pub fn post_rx(&self, packet: Packet) {
+        self.rx.push(packet);
+    }
+
+    /// Deposit a local completion event.
+    pub fn post_completion(&self, completion: Completion) {
+        self.cq.push(completion);
+    }
+
+    /// Record that an operation was injected and will complete later.
+    pub fn op_started(&self) {
+        self.pending_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that an injected operation completed.
+    pub fn op_finished(&self) {
+        let prev = self.pending_ops.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "op_finished without matching op_started");
+    }
+
+    /// Operations injected on this context that have not completed yet.
+    pub fn pending_ops(&self) -> u64 {
+        self.pending_ops.load(Ordering::Relaxed)
+    }
+
+    /// Whether any packet or completion is waiting (cheap peek for progress
+    /// heuristics; may race, callers must tolerate both outcomes).
+    pub fn has_work(&self) -> bool {
+        !self.rx.is_empty() || !self.cq.is_empty()
+    }
+
+    /// Begin draining this context. Enforces (in debug builds) that only one
+    /// thread drains at a time — the invariant the CRI lock exists to
+    /// provide. Returns a guard; draining methods are on the guard.
+    pub fn begin_drain(&self) -> DrainGuard<'_> {
+        let was = self.draining.swap(true, Ordering::Acquire);
+        debug_assert!(
+            !was,
+            "concurrent drain of context {}/{}: the caller failed to hold \
+             the instance lock",
+            self.rank, self.index
+        );
+        DrainGuard { ctx: self }
+    }
+}
+
+/// Exclusive access to a context's pop side, handed out by
+/// [`NetworkContext::begin_drain`].
+#[derive(Debug)]
+pub struct DrainGuard<'a> {
+    ctx: &'a NetworkContext,
+}
+
+impl DrainGuard<'_> {
+    /// Pop one incoming packet, if any.
+    pub fn pop_rx(&mut self) -> Option<Packet> {
+        self.ctx.rx.pop()
+    }
+
+    /// Pop one completion event, if any.
+    pub fn pop_completion(&mut self) -> Option<Completion> {
+        self.ctx.cq.pop()
+    }
+
+    /// The context being drained.
+    pub fn context(&self) -> &NetworkContext {
+        self.ctx
+    }
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.draining.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Envelope;
+
+    fn packet(seq: u64) -> Packet {
+        Packet::eager(
+            Envelope {
+                src: 0,
+                dst: 1,
+                comm: 0,
+                tag: 0,
+                seq,
+            },
+            vec![],
+        )
+    }
+
+    #[test]
+    fn rx_ring_is_fifo_per_producer() {
+        let ctx = NetworkContext::new(1, 0);
+        for seq in 0..10 {
+            ctx.post_rx(packet(seq));
+        }
+        let mut drain = ctx.begin_drain();
+        for seq in 0..10 {
+            assert_eq!(drain.pop_rx().unwrap().envelope.seq, seq);
+        }
+        assert!(drain.pop_rx().is_none());
+    }
+
+    #[test]
+    fn completion_queue_delivers_events() {
+        let ctx = NetworkContext::new(0, 3);
+        ctx.post_completion(Completion {
+            token: 9,
+            kind: CompletionKind::SendDone,
+        });
+        let mut drain = ctx.begin_drain();
+        let c = drain.pop_completion().unwrap();
+        assert_eq!(c.token, 9);
+        assert_eq!(c.kind, CompletionKind::SendDone);
+    }
+
+    #[test]
+    fn pending_op_accounting() {
+        let ctx = NetworkContext::new(0, 0);
+        ctx.op_started();
+        ctx.op_started();
+        assert_eq!(ctx.pending_ops(), 2);
+        ctx.op_finished();
+        assert_eq!(ctx.pending_ops(), 1);
+        ctx.op_finished();
+        assert_eq!(ctx.pending_ops(), 0);
+    }
+
+    #[test]
+    fn has_work_reflects_queues() {
+        let ctx = NetworkContext::new(0, 0);
+        assert!(!ctx.has_work());
+        ctx.post_rx(packet(0));
+        assert!(ctx.has_work());
+        {
+            let mut d = ctx.begin_drain();
+            d.pop_rx();
+        }
+        assert!(!ctx.has_work());
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent drain")]
+    #[cfg(debug_assertions)]
+    fn concurrent_drain_is_detected() {
+        let ctx = NetworkContext::new(0, 0);
+        let _a = ctx.begin_drain();
+        let _b = ctx.begin_drain();
+    }
+
+    #[test]
+    fn drain_guard_releases_on_drop() {
+        let ctx = NetworkContext::new(0, 0);
+        drop(ctx.begin_drain());
+        // Second drain succeeds after the first guard is dropped.
+        let _again = ctx.begin_drain();
+    }
+}

@@ -1,0 +1,149 @@
+//! The fabric: all ranks' contexts plus routing.
+
+use std::sync::Arc;
+
+use crate::{FabricConfig, NetworkContext, Packet, Rank};
+
+/// The simulated interconnect connecting a set of ranks.
+///
+/// Each rank owns a table of [`NetworkContext`]s. Routing follows the
+/// paper's BTL/uct arrangement: a packet injected on source context *k*
+/// lands in destination context `k % contexts(dst)`, so the receiver drains
+/// context *k* by progressing CRI *k*.
+#[derive(Debug)]
+pub struct Fabric {
+    config: FabricConfig,
+    ranks: Vec<Vec<Arc<NetworkContext>>>,
+}
+
+impl Fabric {
+    /// Build a fabric with the same number of contexts on every rank.
+    ///
+    /// The requested context count is clamped to the configured hardware
+    /// limit ([`FabricConfig::max_contexts`]), as on Cray Aries.
+    pub fn new(num_ranks: usize, contexts_per_rank: usize, config: FabricConfig) -> Self {
+        let counts = vec![contexts_per_rank; num_ranks];
+        Self::with_context_counts(&counts, config)
+    }
+
+    /// Build a fabric with a per-rank context count.
+    pub fn with_context_counts(counts: &[usize], config: FabricConfig) -> Self {
+        assert!(!counts.is_empty(), "a fabric needs at least one rank");
+        let ranks = counts
+            .iter()
+            .enumerate()
+            .map(|(rank, &n)| {
+                let n = config.clamp_contexts(n);
+                (0..n)
+                    .map(|i| Arc::new(NetworkContext::new(rank as Rank, i)))
+                    .collect()
+            })
+            .collect();
+        Self { config, ranks }
+    }
+
+    /// The cost model.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Number of ranks connected by this fabric.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Number of contexts a rank owns.
+    pub fn num_contexts(&self, rank: Rank) -> usize {
+        self.ranks[rank as usize].len()
+    }
+
+    /// A rank's context by index.
+    pub fn context(&self, rank: Rank, index: usize) -> &Arc<NetworkContext> {
+        &self.ranks[rank as usize][index]
+    }
+
+    /// All contexts of a rank.
+    pub fn contexts(&self, rank: Rank) -> &[Arc<NetworkContext>] {
+        &self.ranks[rank as usize]
+    }
+
+    /// The destination context a packet injected on source context
+    /// `src_ctx_index` is routed to.
+    pub fn route(&self, dst: Rank, src_ctx_index: usize) -> &Arc<NetworkContext> {
+        let table = &self.ranks[dst as usize];
+        &table[src_ctx_index % table.len()]
+    }
+
+    /// Deposit `packet` into the destination rank's ring for the given
+    /// source context. This is the wire's delivery step; in native mode the
+    /// caller has already charged injection/serialization costs.
+    pub fn deliver(&self, packet: Packet, src_ctx_index: usize) {
+        let dst = packet.envelope.dst;
+        debug_assert!((dst as usize) < self.ranks.len(), "rank {dst} out of range");
+        self.route(dst, src_ctx_index).post_rx(packet);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Envelope, FabricConfig};
+
+    fn packet(dst: Rank, seq: u64) -> Packet {
+        Packet::eager(
+            Envelope {
+                src: 0,
+                dst,
+                comm: 0,
+                tag: 0,
+                seq,
+            },
+            vec![],
+        )
+    }
+
+    #[test]
+    fn routing_is_modulo_destination_contexts() {
+        let fabric = Fabric::with_context_counts(&[4, 2], FabricConfig::test_default());
+        // src ctx 3 -> dst rank 1, which has 2 contexts -> ctx 1.
+        assert_eq!(fabric.route(1, 3).index(), 1);
+        assert_eq!(fabric.route(1, 2).index(), 0);
+        // Toward rank 0 (4 contexts) the index is preserved.
+        assert_eq!(fabric.route(0, 3).index(), 3);
+    }
+
+    #[test]
+    fn deliver_lands_in_routed_context() {
+        let fabric = Fabric::new(2, 3, FabricConfig::test_default());
+        fabric.deliver(packet(1, 7), 2);
+        let ctx = fabric.context(1, 2);
+        let mut drain = ctx.begin_drain();
+        assert_eq!(drain.pop_rx().unwrap().envelope.seq, 7);
+        // Other contexts stay empty.
+        drop(drain);
+        assert!(!fabric.context(1, 0).has_work());
+        assert!(!fabric.context(1, 1).has_work());
+    }
+
+    #[test]
+    fn context_count_respects_hardware_cap() {
+        let mut cfg = FabricConfig::test_default();
+        cfg.max_contexts = Some(8);
+        let fabric = Fabric::new(2, 72, cfg);
+        assert_eq!(fabric.num_contexts(0), 8);
+    }
+
+    #[test]
+    fn per_rank_counts() {
+        let fabric = Fabric::with_context_counts(&[1, 5], FabricConfig::test_default());
+        assert_eq!(fabric.num_contexts(0), 1);
+        assert_eq!(fabric.num_contexts(1), 5);
+        assert_eq!(fabric.num_ranks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_fabric_rejected() {
+        let _ = Fabric::with_context_counts(&[], FabricConfig::test_default());
+    }
+}

@@ -1,0 +1,172 @@
+//! Wire packets and their matching envelopes.
+
+use crate::{CommId, Rank, SeqNo};
+use serde::{Deserialize, Serialize};
+
+/// MPI message tag.
+pub type Tag = i32;
+
+/// Wildcard source for receives (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+
+/// Wildcard tag for receives (`MPI_ANY_TAG`).
+///
+/// Paper §IV-D uses `MPI_ANY_TAG` receives to force the first posted receive
+/// to match every incoming message, eliminating the queue search.
+pub const ANY_TAG: Tag = -1;
+
+/// The matching envelope carried by every two-sided packet.
+///
+/// Open MPI's envelope — what a 0-byte message actually puts on the wire —
+/// is about 28 bytes (paper §IV); [`FabricConfig::envelope_bytes`] accounts
+/// for it in the cost model.
+///
+/// [`FabricConfig::envelope_bytes`]: crate::FabricConfig::envelope_bytes
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: Rank,
+    /// Destination rank.
+    pub dst: Rank,
+    /// Communicator the message travels on.
+    pub comm: CommId,
+    /// User tag.
+    pub tag: Tag,
+    /// Per-(communicator, destination) sequence number, assigned at send
+    /// initiation. The receiver uses it to restore the MPI FIFO order.
+    pub seq: SeqNo,
+}
+
+/// One-sided operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RmaOp {
+    /// Remote write.
+    Put,
+    /// Remote read.
+    Get,
+    /// Remote atomic `target += origin` on 8-byte lanes.
+    AccumulateSum,
+    /// Remote atomic replace.
+    AccumulateReplace,
+    /// Fetch-and-add returning the previous value.
+    FetchAdd,
+    /// Compare-and-swap on one 8-byte lane.
+    CompareSwap,
+}
+
+/// What a packet is, beyond its envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Eager two-sided message: the payload rides with the envelope.
+    Eager,
+    /// Rendezvous request-to-send: only the envelope plus total length.
+    RendezvousRts {
+        /// Total message length the sender wants to transfer.
+        len: usize,
+        /// Token identifying the sender's pending request.
+        sender_token: u64,
+    },
+    /// Rendezvous clear-to-send, flowing back to the sender.
+    RendezvousCts {
+        /// The sender token from the RTS being acknowledged.
+        sender_token: u64,
+        /// Token identifying the receiver's posted request.
+        receiver_token: u64,
+    },
+    /// Rendezvous bulk data; matches the receiver request directly by token
+    /// (no second matching pass, as in OMPI where the CTS carries the
+    /// request pointer).
+    RendezvousData {
+        /// The receiver token from the CTS.
+        receiver_token: u64,
+    },
+}
+
+/// A packet in flight on the simulated wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Matching envelope.
+    pub envelope: Envelope,
+    /// Protocol discriminator.
+    pub kind: PacketKind,
+    /// Payload bytes (empty for 0-byte messages and control packets).
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Build an eager packet.
+    pub fn eager(envelope: Envelope, payload: Vec<u8>) -> Self {
+        Self {
+            envelope,
+            kind: PacketKind::Eager,
+            payload,
+        }
+    }
+
+    /// Bytes this packet occupies on the wire, including the envelope.
+    pub fn wire_len(&self, envelope_bytes: usize) -> usize {
+        envelope_bytes + self.payload.len()
+    }
+
+    /// True if this packet must go through the matching engine (carries a
+    /// user-visible envelope rather than a protocol token).
+    pub fn needs_matching(&self) -> bool {
+        matches!(
+            self.kind,
+            PacketKind::Eager | PacketKind::RendezvousRts { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope() -> Envelope {
+        Envelope {
+            src: 0,
+            dst: 1,
+            comm: 0,
+            tag: 7,
+            seq: 42,
+        }
+    }
+
+    #[test]
+    fn wire_len_includes_envelope() {
+        let p = Packet::eager(envelope(), vec![0u8; 100]);
+        assert_eq!(p.wire_len(28), 128);
+        let zero = Packet::eager(envelope(), vec![]);
+        assert_eq!(zero.wire_len(28), 28, "0-byte msg still ships an envelope");
+    }
+
+    #[test]
+    fn matching_requirement_by_kind() {
+        let e = envelope();
+        assert!(Packet::eager(e, vec![]).needs_matching());
+        let rts = Packet {
+            envelope: e,
+            kind: PacketKind::RendezvousRts {
+                len: 1 << 20,
+                sender_token: 1,
+            },
+            payload: vec![],
+        };
+        assert!(rts.needs_matching());
+        let cts = Packet {
+            envelope: e,
+            kind: PacketKind::RendezvousCts {
+                sender_token: 1,
+                receiver_token: 2,
+            },
+            payload: vec![],
+        };
+        assert!(!cts.needs_matching());
+        let data = Packet {
+            envelope: e,
+            kind: PacketKind::RendezvousData { receiver_token: 2 },
+            payload: vec![1, 2, 3],
+        };
+        assert!(!data.needs_matching());
+    }
+}

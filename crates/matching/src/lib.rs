@@ -1,0 +1,41 @@
+//! The message-matching engine.
+//!
+//! Matching is "possibly the only strictly serial operation in the MPI
+//! two-sided communication" (paper §III-F) and the study's central
+//! bottleneck. This crate implements the receive-side machinery of an
+//! OB1-style point-to-point layer:
+//!
+//! * **Sequence validation** — every two-sided message carries a
+//!   per-(communicator, destination) sequence number assigned at send
+//!   initiation ([`SendSequencer`]). The receiver admits messages to
+//!   matching strictly in sequence order; anything arriving early is parked
+//!   in an **out-of-sequence buffer**, which costs memory traffic right in
+//!   the critical path (paper §II-C). Communicators marked with
+//!   `mpi_assert_allow_overtaking` skip validation entirely (paper §IV-D).
+//! * **Queue matching** — an in-sequence message is searched against the
+//!   posted-receive queue (PRQ); a miss appends it to the unexpected-message
+//!   queue (UMQ). Posting a receive searches the UMQ first. Both searches
+//!   honor `MPI_ANY_SOURCE` / `MPI_ANY_TAG` wildcards and preserve the MPI
+//!   non-overtaking rule.
+//!
+//! The [`Matcher`] is deliberately lock-free *in its interface*: the caller
+//! owns the exclusion (a per-communicator lock for OB1-style concurrent
+//! matching, one global lock for MPICH/UCX-style single-queue designs, or a
+//! virtual lock under the discrete-event executor). Every entry point
+//! returns a [`MatchWork`] receipt describing the work actually performed —
+//! queue entries traversed, out-of-sequence buffering — which the
+//! virtual-time executor converts into virtual nanoseconds and which feeds
+//! the SPC counters behind Table II.
+
+mod matcher;
+mod outcome;
+mod recv;
+mod sequencer;
+
+pub use matcher::Matcher;
+pub use outcome::{MatchEvent, MatchWork, PostOutcome};
+pub use recv::PostedRecv;
+pub use sequencer::SendSequencer;
+
+#[cfg(test)]
+mod tests;

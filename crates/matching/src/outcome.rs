@@ -1,0 +1,91 @@
+//! Results and work receipts returned by the matcher.
+
+use fairmpi_fabric::Packet;
+
+/// A user-visible match produced while delivering incoming packets.
+#[derive(Debug, PartialEq, Eq)]
+pub struct MatchEvent {
+    /// Token of the posted receive that matched.
+    pub token: u64,
+    /// The matched packet (eager payload or rendezvous RTS).
+    pub packet: Packet,
+}
+
+/// Outcome of posting a receive.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PostOutcome {
+    /// The receive matched a packet already waiting in the unexpected queue.
+    Matched(Packet),
+    /// No unexpected packet matched; the receive was appended to the PRQ.
+    Posted,
+}
+
+/// Receipt of the work one matcher call actually performed.
+///
+/// The virtual-time executor converts this into virtual nanoseconds; the
+/// totals also land in the SPC counters. Separating "work done" from "time
+/// charged" lets the same engine run under real threads and under the
+/// discrete-event clock.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MatchWork {
+    /// Queue entries inspected across PRQ/UMQ searches.
+    pub traversed: usize,
+    /// Messages parked in the out-of-sequence buffer by this call.
+    pub oos_buffered: usize,
+    /// Messages replayed out of the out-of-sequence buffer by this call.
+    pub oos_drained: usize,
+    /// Sequence validations performed (0 when overtaking is allowed).
+    pub seq_checks: usize,
+    /// Matches produced (PRQ hits plus UMQ hits).
+    pub matches: usize,
+    /// Packets appended to the unexpected queue.
+    pub unexpected: usize,
+}
+
+impl MatchWork {
+    /// Merge another receipt into this one.
+    pub fn absorb(&mut self, other: MatchWork) {
+        self.traversed += other.traversed;
+        self.oos_buffered += other.oos_buffered;
+        self.oos_drained += other.oos_drained;
+        self.seq_checks += other.seq_checks;
+        self.matches += other.matches;
+        self.unexpected += other.unexpected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = MatchWork {
+            traversed: 1,
+            oos_buffered: 2,
+            oos_drained: 3,
+            seq_checks: 4,
+            matches: 5,
+            unexpected: 6,
+        };
+        a.absorb(MatchWork {
+            traversed: 10,
+            oos_buffered: 20,
+            oos_drained: 30,
+            seq_checks: 40,
+            matches: 50,
+            unexpected: 60,
+        });
+        assert_eq!(
+            a,
+            MatchWork {
+                traversed: 11,
+                oos_buffered: 22,
+                oos_drained: 33,
+                seq_checks: 44,
+                matches: 55,
+                unexpected: 66,
+            }
+        );
+    }
+}

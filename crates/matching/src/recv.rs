@@ -1,0 +1,91 @@
+//! Posted-receive descriptors.
+
+use fairmpi_fabric::{CommId, Envelope, Tag, ANY_SOURCE, ANY_TAG};
+
+/// A receive posted by the user, waiting in the posted-receive queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostedRecv {
+    /// Request token; the runtime above resolves it to a request object.
+    pub token: u64,
+    /// Communicator the receive was posted on.
+    pub comm: CommId,
+    /// Expected source rank, or [`ANY_SOURCE`].
+    pub src: i32,
+    /// Expected tag, or [`ANY_TAG`].
+    pub tag: Tag,
+}
+
+impl PostedRecv {
+    /// Whether an incoming envelope satisfies this receive.
+    ///
+    /// Negative tags are reserved for internal use (as in MPI), so a
+    /// wildcard receive never matches an internal-tag message.
+    #[inline]
+    pub fn matches(&self, env: &Envelope) -> bool {
+        self.comm == env.comm
+            && (self.src == ANY_SOURCE || self.src == env.src as i32)
+            && (self.tag == env.tag || (self.tag == ANY_TAG && env.tag >= 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: u32, tag: Tag, comm: CommId) -> Envelope {
+        Envelope {
+            src,
+            dst: 0,
+            comm,
+            tag,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn exact_match() {
+        let r = PostedRecv {
+            token: 1,
+            comm: 2,
+            src: 3,
+            tag: 4,
+        };
+        assert!(r.matches(&env(3, 4, 2)));
+        assert!(!r.matches(&env(3, 5, 2)), "tag mismatch");
+        assert!(!r.matches(&env(4, 4, 2)), "source mismatch");
+        assert!(!r.matches(&env(3, 4, 1)), "communicator mismatch");
+    }
+
+    #[test]
+    fn wildcards() {
+        let any_src = PostedRecv {
+            token: 1,
+            comm: 0,
+            src: ANY_SOURCE,
+            tag: 9,
+        };
+        assert!(any_src.matches(&env(0, 9, 0)));
+        assert!(any_src.matches(&env(17, 9, 0)));
+
+        let any_tag = PostedRecv {
+            token: 1,
+            comm: 0,
+            src: 5,
+            tag: ANY_TAG,
+        };
+        assert!(any_tag.matches(&env(5, 0, 0)));
+        assert!(any_tag.matches(&env(5, 1234, 0)));
+        assert!(!any_tag.matches(&env(6, 0, 0)));
+    }
+
+    #[test]
+    fn wildcard_tag_never_matches_internal_tags() {
+        let any_tag = PostedRecv {
+            token: 1,
+            comm: 0,
+            src: 5,
+            tag: ANY_TAG,
+        };
+        assert!(!any_tag.matches(&env(5, -7, 0)));
+    }
+}

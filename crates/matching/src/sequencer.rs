@@ -1,0 +1,82 @@
+//! Send-side sequence number assignment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fairmpi_fabric::{Rank, SeqNo};
+
+/// Per-(communicator, destination) send sequence counters.
+///
+/// One `SendSequencer` lives in each communicator on each rank. Assignment
+/// is a single relaxed `fetch_add` and is deliberately *not* performed under
+/// the instance lock: two threads can draw sequence numbers *n* and *n+1*
+/// and then inject them on different CRIs in the opposite order. That race
+/// is precisely how concurrent senders manufacture the out-of-sequence
+/// arrivals the paper measures (Table II shows up to ~94 % of messages
+/// arriving out of sequence at 20 thread pairs).
+#[derive(Debug)]
+pub struct SendSequencer {
+    counters: Box<[AtomicU64]>,
+}
+
+impl SendSequencer {
+    /// Create counters for a communicator spanning `num_ranks` peers.
+    pub fn new(num_ranks: usize) -> Self {
+        let counters = (0..num_ranks)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { counters }
+    }
+
+    /// Draw the next sequence number for a message to `dst`.
+    #[inline]
+    pub fn next(&self, dst: Rank) -> SeqNo {
+        self.counters[dst as usize].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of messages initiated toward `dst` so far.
+    pub fn issued(&self, dst: Rank) -> u64 {
+        self.counters[dst as usize].load(Ordering::Relaxed)
+    }
+
+    /// Number of peers this sequencer covers.
+    pub fn num_ranks(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequences_are_dense_per_destination() {
+        let seq = SendSequencer::new(3);
+        assert_eq!(seq.next(1), 0);
+        assert_eq!(seq.next(1), 1);
+        assert_eq!(seq.next(2), 0, "destinations are independent");
+        assert_eq!(seq.next(1), 2);
+        assert_eq!(seq.issued(1), 3);
+        assert_eq!(seq.issued(0), 0);
+    }
+
+    #[test]
+    fn concurrent_draws_are_unique_and_dense() {
+        let seq = Arc::new(SendSequencer::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let seq = Arc::clone(&seq);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| seq.next(0)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..4000).collect();
+        assert_eq!(all, expect, "every number drawn exactly once");
+    }
+}

@@ -1,0 +1,409 @@
+//! Unit and property tests for the matching engine.
+
+use std::sync::Arc;
+
+use fairmpi_fabric::{Envelope, Packet, ANY_SOURCE, ANY_TAG};
+use fairmpi_spc::{Counter, SpcSet};
+
+use crate::{MatchEvent, Matcher, PostOutcome, PostedRecv};
+
+fn matcher(overtaking: bool) -> Matcher {
+    Matcher::new(Arc::new(SpcSet::new()), overtaking)
+}
+
+fn pkt(src: u32, tag: i32, comm: u32, seq: u64) -> Packet {
+    Packet::eager(
+        Envelope {
+            src,
+            dst: 0,
+            comm,
+            tag,
+            seq,
+        },
+        vec![],
+    )
+}
+
+fn recv(token: u64, src: i32, tag: i32, comm: u32) -> PostedRecv {
+    PostedRecv {
+        token,
+        comm,
+        src,
+        tag,
+    }
+}
+
+#[test]
+fn in_sequence_message_matches_posted_receive() {
+    let mut m = matcher(false);
+    let (outcome, _) = m.post_recv(recv(7, 1, 5, 0));
+    assert_eq!(outcome, PostOutcome::Posted);
+    let mut out = Vec::new();
+    let work = m.deliver(pkt(1, 5, 0, 0), &mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].token, 7);
+    assert_eq!(work.matches, 1);
+    assert_eq!(work.seq_checks, 1);
+    assert_eq!(m.posted_len(), 0);
+}
+
+#[test]
+fn unmatched_message_goes_to_unexpected_queue() {
+    let mut m = matcher(false);
+    let mut out = Vec::new();
+    let work = m.deliver(pkt(1, 5, 0, 0), &mut out);
+    assert!(out.is_empty());
+    assert_eq!(work.unexpected, 1);
+    assert_eq!(m.unexpected_len(), 1);
+    // Posting the receive later finds it.
+    let (outcome, work) = m.post_recv(recv(9, 1, 5, 0));
+    match outcome {
+        PostOutcome::Matched(p) => assert_eq!(p.envelope.tag, 5),
+        PostOutcome::Posted => panic!("should have matched the UMQ entry"),
+    }
+    assert_eq!(work.matches, 1);
+    assert_eq!(m.unexpected_len(), 0);
+}
+
+#[test]
+fn out_of_sequence_message_is_buffered_until_its_turn() {
+    let mut m = matcher(false);
+    let mut out = Vec::new();
+    // seq 2 arrives first: parked, not matched, not unexpected.
+    let work = m.deliver(pkt(1, 0, 0, 2), &mut out);
+    assert!(out.is_empty());
+    assert_eq!(work.oos_buffered, 1);
+    assert_eq!(m.out_of_sequence_len(), 1);
+    assert_eq!(m.unexpected_len(), 0);
+    // seq 1: also parked.
+    m.deliver(pkt(1, 0, 0, 1), &mut out);
+    assert_eq!(m.out_of_sequence_len(), 2);
+    // seq 0 arrives: the whole chain replays in order.
+    let work = m.deliver(pkt(1, 0, 0, 0), &mut out);
+    assert_eq!(work.oos_drained, 2);
+    assert_eq!(m.out_of_sequence_len(), 0);
+    assert_eq!(m.unexpected_len(), 3);
+    assert_eq!(m.expected_seq(0, 1), 3);
+}
+
+#[test]
+fn oos_replay_preserves_fifo_matching_order() {
+    let mut m = matcher(false);
+    let mut out = Vec::new();
+    // Three receives, all wildcard-tag: must match in send order.
+    for token in [10, 11, 12] {
+        m.post_recv(recv(token, 1, ANY_TAG, 0));
+    }
+    // Arrivals scrambled: 2, 0, 1 (tags record the send order).
+    m.deliver(pkt(1, 2, 0, 2), &mut out);
+    m.deliver(pkt(1, 0, 0, 0), &mut out);
+    m.deliver(pkt(1, 1, 0, 1), &mut out);
+    let tags: Vec<i32> = out.iter().map(|e| e.packet.envelope.tag).collect();
+    assert_eq!(tags, vec![0, 1, 2], "matched in sequence order");
+    let tokens: Vec<u64> = out.iter().map(|e| e.token).collect();
+    assert_eq!(tokens, vec![10, 11, 12], "receives consumed in post order");
+}
+
+#[test]
+fn sequence_validation_is_per_source_and_per_comm() {
+    let mut m = matcher(false);
+    let mut out = Vec::new();
+    // Sources 1 and 2 each start at seq 0; comm 1 is independent of comm 0.
+    m.deliver(pkt(1, 0, 0, 0), &mut out);
+    m.deliver(pkt(2, 0, 0, 0), &mut out);
+    m.deliver(pkt(1, 0, 1, 0), &mut out);
+    assert_eq!(m.unexpected_len(), 3, "all three admitted independently");
+    assert_eq!(m.expected_seq(0, 1), 1);
+    assert_eq!(m.expected_seq(0, 2), 1);
+    assert_eq!(m.expected_seq(1, 1), 1);
+}
+
+#[test]
+fn overtaking_skips_sequence_validation() {
+    let mut m = matcher(true);
+    let mut out = Vec::new();
+    // With overtaking, seq 5 is admitted immediately.
+    let work = m.deliver(pkt(1, 0, 0, 5), &mut out);
+    assert_eq!(work.seq_checks, 0);
+    assert_eq!(work.oos_buffered, 0);
+    assert_eq!(m.unexpected_len(), 1);
+    assert_eq!(m.spc().get(Counter::OvertakenMessages), 1);
+    assert_eq!(m.spc().get(Counter::OutOfSequenceMessages), 0);
+}
+
+#[test]
+fn overtaking_with_any_tag_matches_first_posted_receive() {
+    // Paper §IV-D: overtaking + ANY_TAG forces every message to match the
+    // first posted receive, skipping the queue search.
+    let mut m = matcher(true);
+    let mut out = Vec::new();
+    for token in [1, 2, 3] {
+        m.post_recv(recv(token, ANY_SOURCE, ANY_TAG, 0));
+    }
+    m.deliver(pkt(9, 42, 0, 77), &mut out);
+    assert_eq!(out[0].token, 1, "first posted receive wins");
+    // The queue search stopped at the first entry.
+    let work = m.deliver(pkt(9, 43, 0, 3), &mut out);
+    assert_eq!(work.traversed, 1);
+}
+
+#[test]
+fn wildcard_source_matches_earliest_arrival() {
+    let mut m = matcher(false);
+    let mut out = Vec::new();
+    m.deliver(pkt(3, 0, 0, 0), &mut out);
+    m.deliver(pkt(5, 0, 0, 0), &mut out);
+    let (outcome, _) = m.post_recv(recv(1, ANY_SOURCE, 0, 0));
+    match outcome {
+        PostOutcome::Matched(p) => assert_eq!(p.envelope.src, 3, "earliest arrival"),
+        PostOutcome::Posted => panic!("should match"),
+    }
+}
+
+#[test]
+fn tag_mismatch_skips_queue_entries_but_counts_traversal() {
+    let mut m = matcher(false);
+    let mut out = Vec::new();
+    for tag in 0..10 {
+        m.post_recv(recv(tag as u64, 1, tag, 0));
+    }
+    // Message with tag 9 must traverse all 10 entries.
+    let work = m.deliver(pkt(1, 9, 0, 0), &mut out);
+    assert_eq!(work.traversed, 10);
+    assert_eq!(out[0].token, 9);
+}
+
+#[test]
+fn cancel_removes_posted_receive() {
+    let mut m = matcher(false);
+    m.post_recv(recv(5, 1, 1, 0));
+    assert!(m.cancel(5));
+    assert!(!m.cancel(5), "second cancel finds nothing");
+    let mut out = Vec::new();
+    m.deliver(pkt(1, 1, 0, 0), &mut out);
+    assert!(out.is_empty(), "cancelled receive must not match");
+    assert_eq!(m.unexpected_len(), 1);
+}
+
+#[test]
+fn iprobe_sees_unexpected_without_consuming() {
+    let mut m = matcher(false);
+    let mut out = Vec::new();
+    assert!(m.iprobe(0, 1, 4).is_none());
+    m.deliver(pkt(1, 4, 0, 0), &mut out);
+    assert_eq!(m.iprobe(0, 1, 4).unwrap().tag, 4);
+    assert_eq!(m.iprobe(0, ANY_SOURCE, ANY_TAG).unwrap().src, 1);
+    assert!(m.iprobe(0, 2, 4).is_none());
+    assert_eq!(m.unexpected_len(), 1, "probe does not consume");
+}
+
+#[test]
+fn spc_counters_reflect_table_ii_quantities() {
+    let spc = Arc::new(SpcSet::new());
+    let mut m = Matcher::new(Arc::clone(&spc), false);
+    let mut out = Vec::new();
+    for token in 0..4 {
+        m.post_recv(recv(token, 1, 0, 0));
+    }
+    // Deliver 0,2,3,1: two arrive out of sequence.
+    for seq in [0u64, 2, 3, 1] {
+        m.deliver(pkt(1, 0, 0, seq), &mut out);
+    }
+    assert_eq!(spc.get(Counter::OutOfSequenceMessages), 2);
+    assert_eq!(spc.get(Counter::MessagesReceived), 4);
+    assert_eq!(spc.get(Counter::ExpectedMessages), 4);
+    let snap = spc.snapshot();
+    assert!((snap.out_of_sequence_fraction() - 0.5).abs() < 1e-9);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deliver a random permutation of seq 0..n and assert every message is
+    /// admitted exactly once, in sequence order.
+    fn scrambled_delivery(perm: Vec<usize>) {
+        let n = perm.len();
+        let mut m = matcher(false);
+        let mut out = Vec::new();
+        for token in 0..n as u64 {
+            m.post_recv(recv(token, 0, ANY_TAG, 0));
+        }
+        for &seq in &perm {
+            // tag encodes the seq so we can check admission order.
+            m.deliver(pkt(0, seq as i32, 0, seq as u64), &mut out);
+        }
+        assert_eq!(out.len(), n);
+        for (i, ev) in out.iter().enumerate() {
+            assert_eq!(ev.packet.envelope.seq, i as u64);
+            assert_eq!(ev.token, i as u64);
+        }
+        assert_eq!(m.out_of_sequence_len(), 0);
+        assert_eq!(m.unexpected_len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn any_permutation_is_reordered_into_fifo(perm in proptest::sample::subsequence((0..32usize).collect::<Vec<_>>(), 32).prop_shuffle()) {
+            scrambled_delivery(perm);
+        }
+
+        /// Interleave posting receives and delivering a scrambled stream;
+        /// regardless of interleaving, the k-th matched message must be the
+        /// k-th sent (FIFO per source with identical tags).
+        #[test]
+        fn posts_and_delivers_interleaved_keep_fifo(
+            order in proptest::collection::vec(any::<bool>(), 64),
+            shuffle in (0..24usize).prop_map(|k| k),
+        ) {
+            let n = 24usize;
+            // A deterministic scramble parameterized by `shuffle`.
+            let mut seqs: Vec<u64> = (0..n as u64).collect();
+            seqs.rotate_left(shuffle % n);
+            let mut m = matcher(false);
+            // Matched sequence numbers in match order, from both paths:
+            // PRQ hits during delivery and UMQ hits at post time.
+            let mut matched: Vec<u64> = Vec::new();
+            let mut out = Vec::new();
+            let mut post = |m: &mut Matcher, matched: &mut Vec<u64>, token: u64| {
+                if let PostOutcome::Matched(p) = m.post_recv(recv(token, 0, 7, 0)).0 {
+                    matched.push(p.envelope.seq);
+                }
+            };
+            let mut next_post = 0u64;
+            let mut next_deliver = 0usize;
+            for &post_first in &order {
+                if post_first && next_post < n as u64 {
+                    post(&mut m, &mut matched, next_post);
+                    next_post += 1;
+                } else if next_deliver < n {
+                    m.deliver(pkt(0, 7, 0, seqs[next_deliver]), &mut out);
+                    matched.extend(out.drain(..).map(|e| e.packet.envelope.seq));
+                    next_deliver += 1;
+                }
+            }
+            while next_post < n as u64 {
+                post(&mut m, &mut matched, next_post);
+                next_post += 1;
+            }
+            while next_deliver < n {
+                m.deliver(pkt(0, 7, 0, seqs[next_deliver]), &mut out);
+                matched.extend(out.drain(..).map(|e| e.packet.envelope.seq));
+                next_deliver += 1;
+            }
+            prop_assert_eq!(matched.len(), n);
+            for (i, &seq) in matched.iter().enumerate() {
+                prop_assert_eq!(seq, i as u64);
+            }
+        }
+
+        /// Overtaking mode: messages match in *arrival* order instead.
+        #[test]
+        fn overtaking_matches_in_arrival_order(perm in proptest::sample::subsequence((0..16usize).collect::<Vec<_>>(), 16).prop_shuffle()) {
+            let n = perm.len();
+            let mut m = matcher(true);
+            let mut out = Vec::new();
+            for token in 0..n as u64 {
+                m.post_recv(recv(token, 0, ANY_TAG, 0));
+            }
+            for &seq in &perm {
+                m.deliver(pkt(0, seq as i32, 0, seq as u64), &mut out);
+            }
+            prop_assert_eq!(out.len(), n);
+            for (i, ev) in out.iter().enumerate() {
+                // i-th arrival matched i-th posted receive, whatever its seq.
+                prop_assert_eq!(ev.token, i as u64);
+                prop_assert_eq!(ev.packet.envelope.seq, perm[i] as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_posts_cover_umq_path() {
+        // Directed version of the proptest: all delivers first, then posts.
+        let n = 8;
+        let mut m = matcher(false);
+        let mut out = Vec::new();
+        for seq in (0..n as u64).rev() {
+            m.deliver(pkt(0, 7, 0, seq), &mut out);
+        }
+        assert_eq!(m.unexpected_len(), n);
+        let mut matched = Vec::new();
+        for token in 0..n as u64 {
+            match m.post_recv(recv(token, 0, 7, 0)).0 {
+                PostOutcome::Matched(p) => matched.push(p.envelope.seq),
+                PostOutcome::Posted => panic!("UMQ should satisfy the post"),
+            }
+        }
+        assert_eq!(matched, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        /// Multi-source scramble: each source's stream is independently
+        /// permuted and interleaved; every stream must be re-serialized in
+        /// its own sequence order.
+        #[test]
+        fn multi_source_streams_reorder_independently(
+            perm_a in proptest::sample::subsequence((0..12usize).collect::<Vec<_>>(), 12).prop_shuffle(),
+            perm_b in proptest::sample::subsequence((0..12usize).collect::<Vec<_>>(), 12).prop_shuffle(),
+            interleave in proptest::collection::vec(any::<bool>(), 24),
+        ) {
+            let mut m = matcher(false);
+            let mut out = Vec::new();
+            let (mut ia, mut ib) = (0usize, 0usize);
+            for &pick_a in &interleave {
+                if pick_a && ia < perm_a.len() {
+                    m.deliver(pkt(1, 0, 0, perm_a[ia] as u64), &mut out);
+                    ia += 1;
+                } else if ib < perm_b.len() {
+                    m.deliver(pkt(2, 0, 0, perm_b[ib] as u64), &mut out);
+                    ib += 1;
+                }
+            }
+            while ia < perm_a.len() {
+                m.deliver(pkt(1, 0, 0, perm_a[ia] as u64), &mut out);
+                ia += 1;
+            }
+            while ib < perm_b.len() {
+                m.deliver(pkt(2, 0, 0, perm_b[ib] as u64), &mut out);
+                ib += 1;
+            }
+            // All 24 admitted to the UMQ (no receives posted), and each
+            // source's admission order is exactly 0..12.
+            prop_assert_eq!(m.unexpected_len(), 24);
+            prop_assert_eq!(m.out_of_sequence_len(), 0);
+            prop_assert_eq!(m.expected_seq(0, 1), 12);
+            prop_assert_eq!(m.expected_seq(0, 2), 12);
+        }
+
+        /// Work receipts always balance: every delivered message is
+        /// eventually matched or queued, never both, never lost.
+        #[test]
+        fn work_receipts_balance(perm in proptest::sample::subsequence((0..20usize).collect::<Vec<_>>(), 20).prop_shuffle(), posted in 0usize..20) {
+            let mut m = matcher(false);
+            let mut out = Vec::new();
+            let mut work = crate::MatchWork::default();
+            for token in 0..posted as u64 {
+                let (_, w) = m.post_recv(recv(token, 0, 7, 0));
+                work.absorb(w);
+            }
+            for &seq in &perm {
+                work.absorb(m.deliver(pkt(0, 7, 0, seq as u64), &mut out));
+            }
+            prop_assert_eq!(work.matches + work.unexpected, perm.len());
+            prop_assert_eq!(work.oos_buffered, work.oos_drained);
+            prop_assert_eq!(out.len() + m.unexpected_len(), perm.len());
+        }
+    }
+
+    #[test]
+    fn match_event_fields_are_consistent() {
+        let mut m = matcher(false);
+        let mut out: Vec<MatchEvent> = Vec::new();
+        m.post_recv(recv(3, 1, 2, 0));
+        m.deliver(pkt(1, 2, 0, 0), &mut out);
+        let ev = &out[0];
+        assert_eq!(ev.token, 3);
+        assert_eq!(ev.packet.envelope.src, 1);
+    }
+}

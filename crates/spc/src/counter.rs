@@ -1,0 +1,157 @@
+//! The counter namespace.
+//!
+//! Names mirror the OMPI SPC counters used in the paper where one exists
+//! (`OMPI_SPC_OUT_OF_SEQUENCE`, `OMPI_SPC_MATCH_TIME`, ...); the remainder
+//! cover the additional design axes this reproduction instruments (CRI
+//! assignment, try-lock failures, progress sweeps).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one software performance counter.
+///
+/// The discriminant doubles as the index into an [`crate::SpcSet`], so the
+/// enum must stay dense (no explicit discriminants, no gaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Counter {
+    // ---- message volume (OMPI: OMPI_SPC_SENT / RECEIVED) ----
+    /// Point-to-point messages handed to the network (per send initiation).
+    MessagesSent,
+    /// Point-to-point messages fully matched and delivered to a receive.
+    MessagesReceived,
+    /// Bytes injected, including the matching envelope (28 B in Open MPI).
+    BytesSent,
+    /// Payload bytes delivered to user receive buffers.
+    BytesReceived,
+
+    // ---- matching engine (the Table II counters) ----
+    /// Messages whose sequence number did not match the expected one and had
+    /// to be buffered for later (OMPI: `OMPI_SPC_OUT_OF_SEQUENCE`).
+    OutOfSequenceMessages,
+    /// Total virtual/real nanoseconds spent inside the matching critical
+    /// section (OMPI: `OMPI_SPC_MATCH_TIME`, reported in ms in Table II).
+    MatchTimeNanos,
+    /// Messages that arrived before a matching receive was posted
+    /// (OMPI: `OMPI_SPC_UNEXPECTED`).
+    UnexpectedMessages,
+    /// Messages matched directly against an already-posted receive.
+    ExpectedMessages,
+    /// High-water mark of the posted-receive queue length.
+    MaxPostedRecvQueueLen,
+    /// High-water mark of the unexpected-message queue length.
+    MaxUnexpectedQueueLen,
+    /// High-water mark of the out-of-sequence buffer size.
+    MaxOutOfSequenceBuffered,
+    /// Sum of queue entries traversed during matching searches (queue-search
+    /// cost proxy; grows with wildcard misses and out-of-order matching).
+    MatchQueueTraversals,
+    /// Messages admitted without sequence validation because the
+    /// communicator allows overtaking (`mpi_assert_allow_overtaking`).
+    OvertakenMessages,
+
+    // ---- protocol selection ----
+    /// Sends below the eager threshold (header + inline payload).
+    EagerSends,
+    /// Sends that used the rendezvous (RTS/CTS/DATA) protocol.
+    RendezvousSends,
+
+    // ---- one-sided ----
+    /// `put` operations initiated.
+    RmaPuts,
+    /// `get` operations initiated.
+    RmaGets,
+    /// `accumulate`/`fetch_and_op` operations initiated.
+    RmaAccumulates,
+    /// Window flush synchronizations completed.
+    RmaFlushes,
+
+    // ---- CRI / progress engine ----
+    /// CRI acquisitions served by the round-robin strategy.
+    CriRoundRobinAssignments,
+    /// CRI acquisitions served from thread-local (dedicated) state.
+    CriDedicatedHits,
+    /// Failed `try_lock` attempts on an instance (another thread held it).
+    InstanceTryLockFailures,
+    /// Successful instance lock acquisitions.
+    InstanceLockAcquisitions,
+    /// Calls into the progress engine.
+    ProgressCalls,
+    /// Completion events drained from completion queues.
+    CompletionsDrained,
+    /// Progress calls that found no completion on the dedicated instance and
+    /// swept the other instances (Algorithm 2 fallback path).
+    ProgressFallbackSweeps,
+}
+
+impl Counter {
+    /// Total number of counters; the size of every [`crate::SpcSet`].
+    pub const COUNT: usize = Counter::ProgressFallbackSweeps as usize + 1;
+
+    /// All counters in index order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::MessagesSent,
+        Counter::MessagesReceived,
+        Counter::BytesSent,
+        Counter::BytesReceived,
+        Counter::OutOfSequenceMessages,
+        Counter::MatchTimeNanos,
+        Counter::UnexpectedMessages,
+        Counter::ExpectedMessages,
+        Counter::MaxPostedRecvQueueLen,
+        Counter::MaxUnexpectedQueueLen,
+        Counter::MaxOutOfSequenceBuffered,
+        Counter::MatchQueueTraversals,
+        Counter::OvertakenMessages,
+        Counter::EagerSends,
+        Counter::RendezvousSends,
+        Counter::RmaPuts,
+        Counter::RmaGets,
+        Counter::RmaAccumulates,
+        Counter::RmaFlushes,
+        Counter::CriRoundRobinAssignments,
+        Counter::CriDedicatedHits,
+        Counter::InstanceTryLockFailures,
+        Counter::InstanceLockAcquisitions,
+        Counter::ProgressCalls,
+        Counter::CompletionsDrained,
+        Counter::ProgressFallbackSweeps,
+    ];
+
+    /// Stable machine-readable name (used in CSV/JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MessagesSent => "messages_sent",
+            Counter::MessagesReceived => "messages_received",
+            Counter::BytesSent => "bytes_sent",
+            Counter::BytesReceived => "bytes_received",
+            Counter::OutOfSequenceMessages => "out_of_sequence_messages",
+            Counter::MatchTimeNanos => "match_time_ns",
+            Counter::UnexpectedMessages => "unexpected_messages",
+            Counter::ExpectedMessages => "expected_messages",
+            Counter::MaxPostedRecvQueueLen => "max_posted_recv_queue_len",
+            Counter::MaxUnexpectedQueueLen => "max_unexpected_queue_len",
+            Counter::MaxOutOfSequenceBuffered => "max_out_of_sequence_buffered",
+            Counter::MatchQueueTraversals => "match_queue_traversals",
+            Counter::OvertakenMessages => "overtaken_messages",
+            Counter::EagerSends => "eager_sends",
+            Counter::RendezvousSends => "rendezvous_sends",
+            Counter::RmaPuts => "rma_puts",
+            Counter::RmaGets => "rma_gets",
+            Counter::RmaAccumulates => "rma_accumulates",
+            Counter::RmaFlushes => "rma_flushes",
+            Counter::CriRoundRobinAssignments => "cri_round_robin_assignments",
+            Counter::CriDedicatedHits => "cri_dedicated_hits",
+            Counter::InstanceTryLockFailures => "instance_try_lock_failures",
+            Counter::InstanceLockAcquisitions => "instance_lock_acquisitions",
+            Counter::ProgressCalls => "progress_calls",
+            Counter::CompletionsDrained => "completions_drained",
+            Counter::ProgressFallbackSweeps => "progress_fallback_sweeps",
+        }
+    }
+
+    /// Index of the counter inside an [`crate::SpcSet`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}

@@ -1,0 +1,143 @@
+//! The live counter storage.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Counter, SpcSnapshot};
+
+/// A set of live software performance counters.
+///
+/// One `SpcSet` exists per simulated MPI process. Updates use relaxed atomic
+/// read-modify-write on cache-line padded slots, so concurrent updates from
+/// different threads never share a cache line with each other or with
+/// neighboring counters — the instrumentation must not perturb the very
+/// contention effects the study measures.
+#[derive(Debug)]
+pub struct SpcSet {
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl Default for SpcSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpcSet {
+    /// Create a zeroed counter set.
+    pub fn new() -> Self {
+        let slots = (0..Counter::COUNT)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { slots }
+    }
+
+    /// Add `delta` to a counter.
+    #[inline]
+    pub fn add(&self, counter: Counter, delta: u64) {
+        self.slots[counter.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Raise a high-water-mark counter to at least `value`.
+    #[inline]
+    pub fn record_max(&self, counter: Counter, value: u64) {
+        self.slots[counter.index()].fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value of one counter.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.slots[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        for slot in self.slots.iter() {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Capture a point-in-time copy of all counters.
+    ///
+    /// The snapshot is not atomic across counters; as with OMPI's SPCs it is
+    /// intended to be read while the measured phase is quiescent.
+    pub fn snapshot(&self) -> SpcSnapshot {
+        let mut values = [0u64; Counter::COUNT];
+        for (i, slot) in self.slots.iter().enumerate() {
+            values[i] = slot.load(Ordering::Relaxed);
+        }
+        SpcSnapshot::from_values(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let spc = SpcSet::new();
+        for c in Counter::ALL {
+            assert_eq!(spc.get(c), 0, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn add_and_inc_accumulate() {
+        let spc = SpcSet::new();
+        spc.inc(Counter::MessagesSent);
+        spc.add(Counter::MessagesSent, 41);
+        assert_eq!(spc.get(Counter::MessagesSent), 42);
+        // Other counters untouched.
+        assert_eq!(spc.get(Counter::MessagesReceived), 0);
+    }
+
+    #[test]
+    fn record_max_keeps_high_water_mark() {
+        let spc = SpcSet::new();
+        spc.record_max(Counter::MaxPostedRecvQueueLen, 7);
+        spc.record_max(Counter::MaxPostedRecvQueueLen, 3);
+        assert_eq!(spc.get(Counter::MaxPostedRecvQueueLen), 7);
+        spc.record_max(Counter::MaxPostedRecvQueueLen, 11);
+        assert_eq!(spc.get(Counter::MaxPostedRecvQueueLen), 11);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let spc = SpcSet::new();
+        for c in Counter::ALL {
+            spc.add(c, 5);
+        }
+        spc.reset();
+        for c in Counter::ALL {
+            assert_eq!(spc.get(c), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_increments() {
+        use std::sync::Arc;
+        let spc = Arc::new(SpcSet::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let spc = Arc::clone(&spc);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        spc.inc(Counter::ProgressCalls);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(spc.get(Counter::ProgressCalls), 40_000);
+    }
+}

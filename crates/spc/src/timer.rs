@@ -1,0 +1,73 @@
+//! Wall-clock timing into a counter, for the native (real-thread) path.
+//!
+//! The virtual-time executor does not use this type; it adds virtual
+//! nanoseconds to [`Counter::MatchTimeNanos`] directly.
+
+use std::time::Instant;
+
+use crate::{Counter, SpcSet};
+
+/// Measures the wall-clock duration of a scope into a counter.
+///
+/// ```
+/// use fairmpi_spc::{SpcSet, Counter, ScopedTimer};
+/// let spc = SpcSet::new();
+/// {
+///     let _t = ScopedTimer::new(&spc, Counter::MatchTimeNanos);
+///     // ... matching work ...
+/// }
+/// // Some nonzero number of nanoseconds was recorded.
+/// ```
+#[must_use = "the timer records on drop; binding it to `_` drops immediately"]
+pub struct ScopedTimer<'a> {
+    spc: &'a SpcSet,
+    counter: Counter,
+    start: Instant,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Start timing; the elapsed nanoseconds are added to `counter` on drop.
+    pub fn new(spc: &'a SpcSet, counter: Counter) -> Self {
+        Self {
+            spc,
+            counter,
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far without stopping the timer.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        self.spc.add(self.counter, self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_on_drop() {
+        let spc = SpcSet::new();
+        {
+            let _t = ScopedTimer::new(&spc, Counter::MatchTimeNanos);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(spc.get(Counter::MatchTimeNanos) >= 1_000_000);
+    }
+
+    #[test]
+    fn nested_timers_accumulate() {
+        let spc = SpcSet::new();
+        for _ in 0..3 {
+            let _t = ScopedTimer::new(&spc, Counter::MatchTimeNanos);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(spc.get(Counter::MatchTimeNanos) >= 3 * 500_000);
+    }
+}

@@ -1,0 +1,92 @@
+//! Machine presets: the testbeds of paper Table I (plus the KNL partition
+//! used in Fig. 7).
+
+use fairmpi_fabric::{FabricConfig, MachineKind};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::SchedParams;
+
+/// Which simulated testbed to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachinePreset {
+    /// UTK "Alembert": dual 10-core Haswell (20 cores), InfiniBand EDR.
+    Alembert,
+    /// LANL "Trinitite" Haswell: dual 16-core Haswell (32 cores), Aries.
+    TrinititeHaswell,
+    /// LANL "Trinitite" KNL: 68-core Knights Landing, Aries. KNL cores are
+    /// substantially slower per-thread than Haswell.
+    TrinititeKnl,
+}
+
+/// A fully resolved machine: scheduler parameters plus fabric cost model.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Human-readable name for figure labels.
+    pub name: &'static str,
+    /// Scheduler parameters (cores, per-core slowdown, lock costs).
+    pub sched: SchedParams,
+    /// Fabric cost model (injection/extraction/bandwidth/jitter).
+    pub fabric: FabricConfig,
+    /// Default number of CRIs the one-sided BTL creates: one per core
+    /// (paper §IV-F: 32 on Haswell nodes, 72 on KNL nodes).
+    pub default_rma_instances: usize,
+}
+
+impl Machine {
+    /// Resolve a preset.
+    pub fn preset(kind: MachinePreset) -> Self {
+        match kind {
+            MachinePreset::Alembert => Machine {
+                name: "alembert",
+                sched: SchedParams {
+                    cores: 20,
+                    slowdown_x1024: 1024,
+                    ..SchedParams::default()
+                },
+                fabric: FabricConfig::for_machine(MachineKind::AlembertInfinibandEdr),
+                default_rma_instances: 20,
+            },
+            MachinePreset::TrinititeHaswell => Machine {
+                name: "trinitite-haswell",
+                sched: SchedParams {
+                    cores: 32,
+                    slowdown_x1024: 1024,
+                    ..SchedParams::default()
+                },
+                fabric: FabricConfig::for_machine(MachineKind::TrinititeAriesHaswell),
+                // "this creates 32 instances on Haswell nodes" (§IV-F).
+                default_rma_instances: 32,
+            },
+            MachinePreset::TrinititeKnl => Machine {
+                name: "trinitite-knl",
+                sched: SchedParams {
+                    cores: 68,
+                    // KNL single-thread performance ≈ 2.5× below Haswell.
+                    slowdown_x1024: 2560,
+                    ..SchedParams::default()
+                },
+                fabric: FabricConfig::for_machine(MachineKind::TrinititeAriesKnl),
+                // "and 72 instances on KNL nodes" (§IV-F).
+                default_rma_instances: 72,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_i() {
+        let a = Machine::preset(MachinePreset::Alembert);
+        assert_eq!(a.sched.cores, 20);
+        let h = Machine::preset(MachinePreset::TrinititeHaswell);
+        assert_eq!(h.sched.cores, 32);
+        assert_eq!(h.default_rma_instances, 32);
+        let k = Machine::preset(MachinePreset::TrinititeKnl);
+        assert_eq!(k.sched.cores, 68);
+        assert_eq!(k.default_rma_instances, 72);
+        assert!(k.sched.slowdown_x1024 > h.sched.slowdown_x1024);
+    }
+}

@@ -1,0 +1,23 @@
+//! Workload actors for the paper's two benchmarks.
+
+pub mod multirate;
+pub mod rmamt;
+
+/// CRI assignment strategy (paper Algorithm 1), mirrored for the simulated
+/// designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SimAssignment {
+    /// A fresh instance per operation from a shared circular counter.
+    RoundRobin,
+    /// Thread-local sticky assignment (thread *i* → instance `i % n`).
+    Dedicated,
+}
+
+/// Progress-engine design (paper Algorithm 2 vs the original serial one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SimProgress {
+    /// One global progress gate; a single thread extracts at a time.
+    Serial,
+    /// Every thread extracts; per-instance try-locks, dedicated-first.
+    Concurrent,
+}

@@ -1,0 +1,106 @@
+//! A task-pull runtime over an *overtaking* communicator.
+//!
+//! Paper §VI: relaxing the matching order "might only be suitable for some
+//! categories of application that do not rely on message ordering, such as
+//! task-based runtimes". This example is exactly that category: rank 0
+//! produces independent work descriptors from several threads; rank 1's
+//! worker threads pull whatever arrives first with `MPI_ANY_TAG` receives
+//! on a communicator created with `mpi_assert_allow_overtaking`, so the
+//! runtime never buffers out-of-sequence messages on the critical path.
+//!
+//! Run with: `cargo run --example task_queue`
+
+use std::sync::Arc;
+
+use fairmpi::{Counter, DesignConfig, World, ANY_SOURCE, ANY_TAG};
+
+const PRODUCERS: usize = 3;
+const WORKERS: usize = 3;
+const TASKS_PER_PRODUCER: usize = 400;
+const POISON: &[u8] = b"__shutdown__";
+
+fn main() {
+    let world = Arc::new(
+        World::builder()
+            .ranks(2)
+            .design(DesignConfig::proposed(PRODUCERS.max(WORKERS)))
+            .build(),
+    );
+    // The task channel: ordering explicitly relaxed.
+    let task_comm = world.new_comm_with(true);
+
+    // Producers on rank 0: each thread streams independent task payloads.
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let world = Arc::clone(&world);
+            std::thread::spawn(move || {
+                let proc = world.proc(0);
+                for i in 0..TASKS_PER_PRODUCER {
+                    // A "task": compute the sum of bytes of this payload.
+                    let payload = vec![(i % 251) as u8; 16 + (i % 48)];
+                    proc.send(&payload, 1, p as i32, task_comm).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // Workers on rank 1: pull with wildcards, process, tally.
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let world = Arc::clone(&world);
+            std::thread::spawn(move || {
+                let proc = world.proc(1);
+                let mut done = 0u64;
+                let mut work_sum = 0u64;
+                loop {
+                    let msg = proc.recv(256, ANY_SOURCE, ANY_TAG, task_comm).unwrap();
+                    if msg.data == POISON {
+                        break;
+                    }
+                    work_sum += msg.data.iter().map(|&b| b as u64).sum::<u64>();
+                    done += 1;
+                }
+                (done, work_sum)
+            })
+        })
+        .collect();
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    // Shut the workers down (one poison pill each).
+    let p0 = world.proc(0);
+    for _ in 0..WORKERS {
+        p0.send(POISON, 1, 99, task_comm).unwrap();
+    }
+
+    let mut total_tasks = 0u64;
+    let mut total_work = 0u64;
+    for (i, w) in workers.into_iter().enumerate() {
+        let (done, sum) = w.join().unwrap();
+        println!("worker {i}: {done} tasks (work checksum {sum})");
+        total_tasks += done;
+        total_work += sum;
+    }
+    assert_eq!(total_tasks, (PRODUCERS * TASKS_PER_PRODUCER) as u64);
+
+    // Verify against the expected checksum computed independently.
+    let expected: u64 = (0..PRODUCERS as u64)
+        .map(|_| {
+            (0..TASKS_PER_PRODUCER as u64)
+                .map(|i| (i % 251) * (16 + (i % 48)))
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(total_work, expected, "no task lost or corrupted");
+
+    let spc = world.proc(1).spc_snapshot();
+    println!(
+        "\nall {total_tasks} tasks processed; overtaken messages: {}, \
+         out-of-sequence buffering events: {} (the overtaking communicator \
+         never pays the reordering tax)",
+        spc[Counter::OvertakenMessages],
+        spc[Counter::OutOfSequenceMessages],
+    );
+    assert_eq!(spc[Counter::OutOfSequenceMessages], 0);
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the collective operations and typed-data helpers.
+
+use std::sync::Arc;
+
+use fairmpi::datatypes::{decode_slice, encode_slice};
+use fairmpi::{ReduceOp, World};
+
+fn spawn_all<R: Send + 'static>(
+    world: &Arc<World>,
+    f: impl Fn(fairmpi::Proc, u32) -> R + Send + Sync + Copy + 'static,
+) -> Vec<R> {
+    let n = world.num_ranks() as u32;
+    (0..n)
+        .map(|r| {
+            let world = Arc::clone(world);
+            std::thread::spawn(move || f(world.proc(r), r))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect()
+}
+
+#[test]
+fn scatter_distributes_per_rank_chunks() {
+    let world = Arc::new(World::builder().ranks(4).build());
+    let comm = world.comm_world();
+    let results = spawn_all(&world, move |p, r| {
+        let chunks: Option<Vec<Vec<u8>>> = (r == 1).then(|| {
+            (0..4u8).map(|i| vec![i; (i as usize + 1) * 3]).collect()
+        });
+        p.scatter(chunks.as_deref(), 1, comm).unwrap()
+    });
+    for (r, chunk) in results.iter().enumerate() {
+        assert_eq!(chunk, &vec![r as u8; (r + 1) * 3], "rank {r}");
+    }
+}
+
+#[test]
+fn allgather_collects_ragged_contributions() {
+    let world = Arc::new(World::builder().ranks(3).build());
+    let comm = world.comm_world();
+    let results = spawn_all(&world, move |p, r| {
+        let mine = vec![r as u8 + 10; r as usize + 1];
+        p.allgather(&mine, comm).unwrap()
+    });
+    for gathered in results {
+        assert_eq!(gathered.len(), 3);
+        for (r, part) in gathered.iter().enumerate() {
+            assert_eq!(part, &vec![r as u8 + 10; r + 1]);
+        }
+    }
+}
+
+#[test]
+fn alltoall_full_exchange() {
+    let world = Arc::new(World::builder().ranks(3).build());
+    let comm = world.comm_world();
+    let results = spawn_all(&world, move |p, r| {
+        // Rank r sends the byte pattern [r, dst] to every dst.
+        let sends: Vec<Vec<u8>> = (0..3u8).map(|dst| vec![r as u8, dst]).collect();
+        p.alltoall(&sends, comm).unwrap()
+    });
+    for (me, received) in results.iter().enumerate() {
+        for (src, payload) in received.iter().enumerate() {
+            assert_eq!(payload, &vec![src as u8, me as u8], "rank {me} from {src}");
+        }
+    }
+}
+
+#[test]
+fn reduce_elems_all_ops() {
+    let world = Arc::new(World::builder().ranks(3).build());
+    let comm = world.comm_world();
+    for (op, expect) in [
+        (ReduceOp::Sum, vec![0 + 10 + 20, 7 + 17 + 27]),
+        (ReduceOp::Max, vec![20, 27]),
+        (ReduceOp::Min, vec![0, 7]),
+        (ReduceOp::BitOr, vec![0 | 10 | 20, 7 | 17 | 27]),
+        (ReduceOp::BitAnd, vec![0 & 10 & 20, 7 & 17 & 27]),
+    ] {
+        let results = spawn_all(&world, move |p, r| {
+            let vals = [r as u64 * 10, r as u64 * 10 + 7];
+            p.reduce_elems(&vals, op, 0, comm).unwrap()
+        });
+        assert_eq!(results[0], expect, "{op:?}");
+        assert!(results[1].is_empty() && results[2].is_empty());
+    }
+}
+
+#[test]
+fn repeated_collectives_on_one_communicator() {
+    // Back-to-back collectives must not cross-talk (tag/seq discipline).
+    let world = Arc::new(World::builder().ranks(3).build());
+    let comm = world.comm_world();
+    spawn_all(&world, move |p, r| {
+        for round in 0..10u64 {
+            let sum = p.allreduce_sum(round + r as u64, comm).unwrap();
+            assert_eq!(sum, 3 * round + 0 + 1 + 2);
+            p.barrier(comm).unwrap();
+        }
+    });
+}
+
+#[test]
+fn collectives_coexist_with_wildcard_user_traffic() {
+    // A user ANY_TAG receive posted *before* a barrier must not swallow
+    // barrier control messages (reserved negative tags).
+    let world = Arc::new(World::builder().ranks(2).build());
+    let comm = world.comm_world();
+    let w0 = Arc::clone(&world);
+    let t0 = std::thread::spawn(move || {
+        let p = w0.proc(0);
+        // Posted early; matched only by the real user message at the end.
+        let req = p.irecv(16, fairmpi::ANY_SOURCE, fairmpi::ANY_TAG, comm).unwrap();
+        p.barrier(comm).unwrap();
+        let msg = p.wait(&req).unwrap();
+        assert_eq!(msg.data, b"user");
+        assert_eq!(msg.tag, 5);
+    });
+    let p1 = world.proc(1);
+    p1.barrier(comm).unwrap();
+    p1.send(b"user", 0, 5, comm).unwrap();
+    t0.join().unwrap();
+}
+
+#[test]
+fn typed_helpers_cover_all_widths() {
+    // Pure encode/decode across every impl'd datatype.
+    assert_eq!(decode_slice::<i8>(&encode_slice(&[-1i8, 2])).unwrap(), [-1, 2]);
+    assert_eq!(decode_slice::<u16>(&encode_slice(&[u16::MAX])).unwrap(), [u16::MAX]);
+    assert_eq!(decode_slice::<i32>(&encode_slice(&[i32::MIN])).unwrap(), [i32::MIN]);
+    assert_eq!(decode_slice::<f32>(&encode_slice(&[1.5f32])).unwrap(), [1.5]);
+    assert_eq!(
+        decode_slice::<i64>(&encode_slice(&[i64::MIN, i64::MAX])).unwrap(),
+        [i64::MIN, i64::MAX]
+    );
+}

@@ -1,0 +1,220 @@
+//! Failure injection and edge cases: orphaned dedicated instances, thread
+//! churn, cancellation races, truncation, zero-sized everything, and
+//! resource exhaustion behaviors the paper's design must tolerate.
+
+use std::sync::Arc;
+
+use fairmpi::{Counter, DesignConfig, MpiError, World};
+
+/// Paper §III-E: "the user might destroy the thread and create orphaned
+/// CRIs that cannot be reused by other threads" — other threads' fallback
+/// sweeps must still progress the orphan's instance.
+#[test]
+fn orphaned_dedicated_instance_is_progressed_by_survivors() {
+    let world = Arc::new(World::builder().ranks(2).design(DesignConfig::proposed(3)).build());
+    let comm = world.comm_world();
+
+    // A short-lived receiver thread binds instance 0 on rank 1, posts a
+    // receive it never completes, and exits.
+    {
+        let world = Arc::clone(&world);
+        std::thread::spawn(move || {
+            let p = world.proc(1);
+            // Bind a dedicated instance by making a call that acquires one.
+            let _ = p.irecv(8, 0, 77, comm).unwrap();
+            // The thread dies without waiting; its CRI is now an orphan.
+        })
+        .join()
+        .unwrap();
+    }
+
+    // The sender's message lands in an instance no living receiver thread
+    // is bound to; a *different* rank-1 thread must still complete it.
+    let p0 = world.proc(0);
+    let t = std::thread::spawn(move || p0.send(b"orphan", 1, 77, comm).unwrap());
+    let p1 = world.proc(1);
+    // Wait on the request we can't see — instead receive a second message
+    // posted by this thread and verify the first matched too.
+    let done = p1.send(b"", 0, 1, comm); // trivial traffic to drive progress
+    assert!(done.is_ok());
+    t.join().unwrap();
+    // Drive progress until the orphan message is matched.
+    let mut spins = 0;
+    while world.proc(1).spc().get(Counter::MessagesReceived) < 1 {
+        world.proc(1).progress();
+        spins += 1;
+        assert!(spins < 1_000_000, "orphaned instance never progressed");
+    }
+}
+
+#[test]
+fn thread_churn_with_dedicated_assignment() {
+    // Waves of short-lived threads: dedicated TLS bindings are dropped and
+    // re-acquired; traffic must keep flowing.
+    let world = Arc::new(World::builder().ranks(2).design(DesignConfig::proposed(2)).build());
+    let comm = world.comm_world();
+    for wave in 0..5u32 {
+        let mut handles = Vec::new();
+        for t in 0..3u32 {
+            let sender_world = Arc::clone(&world);
+            handles.push(std::thread::spawn(move || {
+                let p = sender_world.proc(0);
+                p.send(&wave.to_le_bytes(), 1, t as i32, comm).unwrap();
+                p.forget_dedicated_instance();
+            }));
+            let recv_world = Arc::clone(&world);
+            handles.push(std::thread::spawn(move || {
+                let p = recv_world.proc(1);
+                let m = p.recv(8, 0, t as i32, comm).unwrap();
+                assert_eq!(m.data, wave.to_le_bytes());
+                p.forget_dedicated_instance();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn cancel_then_late_message_goes_unexpected() {
+    let world = World::builder().ranks(2).build();
+    let comm = world.comm_world();
+    let p1 = world.proc(1);
+    let req = p1.irecv(8, 0, 3, comm).unwrap();
+    assert!(p1.cancel_recv(&req, comm).unwrap());
+    assert_eq!(p1.wait(&req).unwrap_err(), MpiError::Cancelled);
+    // The message sent afterwards must not vanish into the cancelled
+    // request: a fresh receive gets it.
+    let p0 = world.proc(0);
+    let t = std::thread::spawn(move || p0.send(b"late", 1, 3, comm).unwrap());
+    let m = p1.recv(8, 0, 3, comm).unwrap();
+    assert_eq!(m.data, b"late");
+    t.join().unwrap();
+}
+
+#[test]
+fn cancel_after_match_reports_failure() {
+    let world = World::builder().ranks(2).build();
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let req = p1.irecv(8, 0, 0, comm).unwrap();
+    let t = std::thread::spawn(move || p0.send(b"x", 1, 0, comm).unwrap());
+    // Drain until the message has matched the posted receive.
+    while p1.spc_snapshot()[Counter::MessagesReceived] < 1 {
+        p1.progress();
+    }
+    assert!(!p1.cancel_recv(&req, comm).unwrap(), "too late to cancel");
+    assert_eq!(p1.wait(&req).unwrap().data, b"x");
+    t.join().unwrap();
+}
+
+#[test]
+fn truncation_does_not_poison_the_stream() {
+    let world = World::builder().ranks(2).build();
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let t = std::thread::spawn(move || {
+        p0.send(&[1u8; 64], 1, 0, comm).unwrap();
+        p0.send(&[2u8; 8], 1, 0, comm).unwrap();
+    });
+    assert!(matches!(
+        p1.recv(16, 0, 0, comm).unwrap_err(),
+        MpiError::Truncated { message_len: 64, .. }
+    ));
+    // The next message on the same stream still arrives.
+    let m = p1.recv(16, 0, 0, comm).unwrap();
+    assert_eq!(m.data, [2u8; 8]);
+    t.join().unwrap();
+}
+
+#[test]
+fn zero_byte_messages_and_zero_capacity_receives() {
+    let world = World::builder().ranks(2).build();
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let t = std::thread::spawn(move || {
+        for _ in 0..10 {
+            p0.send(&[], 1, 0, comm).unwrap();
+        }
+    });
+    for _ in 0..10 {
+        let m = p1.recv(0, 0, 0, comm).unwrap();
+        assert!(m.data.is_empty());
+    }
+    t.join().unwrap();
+}
+
+#[test]
+fn zero_sized_window_rejects_all_access() {
+    let world = World::builder().ranks(2).build();
+    let id = world.allocate_window(0);
+    let w = world.proc(0).window(id).unwrap();
+    assert!(w.is_empty());
+    assert!(w.put(1, 0, &[1]).is_err());
+    assert!(w.get(1, 0, 1).is_err());
+    // Zero-length access at offset 0 is legal (a no-op).
+    assert!(w.put(1, 0, &[]).is_ok());
+    w.flush(1).unwrap();
+}
+
+#[test]
+fn single_rank_world_self_messaging() {
+    let world = World::builder().ranks(1).build();
+    let comm = world.comm_world();
+    let p = world.proc(0);
+    let req = p.irecv(16, 0, 0, comm).unwrap();
+    p.send(b"self", 0, 0, comm).unwrap();
+    assert_eq!(p.wait(&req).unwrap().data, b"self");
+    p.barrier(comm).unwrap();
+}
+
+#[test]
+fn instance_cap_smaller_than_thread_count_still_works() {
+    // Aries-style cap: 2 contexts, 6 threads. Sharing must stay correct.
+    let mut fabric = fairmpi::FabricConfig::test_default();
+    fabric.max_contexts = Some(2);
+    let world = Arc::new(
+        World::builder()
+            .ranks(2)
+            .fabric(fabric)
+            .design(DesignConfig::proposed(16))
+            .build(),
+    );
+    let comm = world.comm_world();
+    let handles: Vec<_> = (0..6u32)
+        .map(|t| {
+            let world = Arc::clone(&world);
+            std::thread::spawn(move || {
+                let p0 = world.proc(0);
+                let p1 = world.proc(1);
+                let rreq = p1.irecv(8, 0, t as i32, comm).unwrap();
+                p0.send(&t.to_le_bytes(), 1, t as i32, comm).unwrap();
+                assert_eq!(p1.wait(&rreq).unwrap().data, t.to_le_bytes());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn double_wait_is_an_error_not_a_hang() {
+    let world = World::builder().ranks(2).build();
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let req = p0.isend(b"x", 1, 0, comm).unwrap();
+    // Let rank 1 receive.
+    let p1 = world.proc(1);
+    let t = std::thread::spawn(move || p1.recv(8, 0, 0, comm).unwrap());
+    p0.wait(&req).unwrap();
+    assert!(matches!(
+        p0.wait(&req).unwrap_err(),
+        MpiError::InvalidRequest(_)
+    ));
+    t.join().unwrap();
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format, lint. Run from the repo root.
+# The workspace vendors its third-party shims under compat/, so everything
+# here works without network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release, default features) =="
+cargo build --release --workspace --offline
+
+echo "== build (trace hooks compiled out) =="
+cargo build --offline -p fairmpi-bench --no-default-features
+
+echo "== test =="
+cargo test -q --workspace --offline
+
+echo "== test (trace crate, enabled) =="
+cargo test -q --offline -p fairmpi-trace --features enabled
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Covers exactly the surface the simulator uses: `rngs::SmallRng` seeded
+//! with `SeedableRng::seed_from_u64`, and `Rng::gen_range` over integer
+//! ranges. The generator is xoshiro256** (the same family real `SmallRng`
+//! uses on 64-bit targets) seeded through SplitMix64, so streams are
+//! deterministic, well distributed, and cheap — but NOT the bit-identical
+//! sequences of crates.io `rand`; seeds were recalibrated where tests
+//! depend on exact draws.
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling support for [`Rng::gen_range`]; implemented for the
+/// integer range shapes the workspace draws from.
+pub trait SampleRange<T> {
+    /// Draw a value in the range using `draw(n)` ∈ [0, n).
+    fn sample(self, rng: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample(self, rng: &mut dyn FnMut(u64) -> u64) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng(self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample(self, rng: &mut dyn FnMut(u64) -> u64) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng(0); // degenerate full-width range: raw draw
+        }
+        lo + rng(span + 1)
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample(self, rng: &mut dyn FnMut(u64) -> u64) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample(self, rng: &mut dyn FnMut(u64) -> u64) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng((hi - lo) as u64 + 1) as usize
+    }
+}
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = |n: u64| {
+            if n == 0 {
+                return self.next_u64();
+            }
+            // Debiased multiply-shift (Lemire): uniform over [0, n).
+            let mut m = (self.next_u64() as u128) * (n as u128);
+            let mut lo = m as u64;
+            if lo < n {
+                let t = n.wrapping_neg() % n;
+                while lo < t {
+                    m = (self.next_u64() as u128) * (n as u128);
+                    lo = m as u64;
+                }
+            }
+            (m >> 64) as u64
+        };
+        range.sample(&mut draw)
+    }
+
+    /// A uniform draw over `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0usize..=4);
+            assert!(w <= 4);
+            let z = r.gen_range(5u64..=5);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -5,9 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairmpi::{DesignConfig, World};
-use fairmpi_vsim::{
-    Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress,
-};
+use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress};
 
 fn multirate(pairs: usize, instances: usize, window: usize, machine: Machine) -> f64 {
     MultirateSim {

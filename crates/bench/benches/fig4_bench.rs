@@ -4,9 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
-use fairmpi_vsim::{
-    Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress,
-};
+use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress};
 
 fn run(pairs: usize, progress: SimProgress, matching: SimMatchLayout) -> f64 {
     MultirateSim {

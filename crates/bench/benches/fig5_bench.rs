@@ -5,9 +5,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
-use fairmpi_vsim::{
-    Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress,
-};
+use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress};
 
 fn run(design: SimDesign) -> f64 {
     MultirateSim {

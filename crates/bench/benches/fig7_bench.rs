@@ -31,11 +31,9 @@ fn bench_fig7(c: &mut Criterion) {
         for threads in [8usize, 64] {
             let rate = run(threads, instances, assignment);
             println!("fig7 {mode} threads={threads}: {rate:.0} msg/s (virtual)");
-            group.bench_with_input(
-                BenchmarkId::new(mode, threads),
-                &threads,
-                |b, &threads| b.iter(|| black_box(run(threads, instances, assignment))),
-            );
+            group.bench_with_input(BenchmarkId::new(mode, threads), &threads, |b, &threads| {
+                b.iter(|| black_box(run(threads, instances, assignment)))
+            });
         }
     }
     group.finish();

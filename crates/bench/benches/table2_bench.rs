@@ -8,8 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fairmpi_spc::Counter;
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
 use fairmpi_vsim::{
-    Machine, MachinePreset, MultirateResult, MultirateSim, SimAssignment, SimDesign,
-    SimProgress,
+    Machine, MachinePreset, MultirateResult, MultirateSim, SimAssignment, SimDesign, SimProgress,
 };
 
 fn run(progress: SimProgress, matching: SimMatchLayout, instances: usize) -> MultirateResult {

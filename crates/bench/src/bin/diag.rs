@@ -1,15 +1,16 @@
 //! Diagnostic: run one Multirate design point and dump every counter plus
 //! derived per-message costs. Not a paper figure; a calibration aid.
 //!
-//! Usage: `diag [pairs] [instances] [serial|concurrent] [single|perpair]`
+//! Usage: `diag [pairs] [instances] [serial|concurrent] [single|perpair]
+//! [--trace out.json] [--spc-series out.csv]`
 
+use fairmpi_bench::observe::Observe;
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
-use fairmpi_vsim::{
-    Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress,
-};
+use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let observe = Observe::from_args(&mut args);
     let pairs: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(20);
     let instances: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(20);
     let progress = match args.get(3).map(|s| s.as_str()) {
@@ -38,7 +39,14 @@ fn main() {
         seed: 0xD1A6,
         cost: None,
     };
-    let r = sim.run();
+    let r = if observe.active() {
+        observe.run(
+            &format!("diag {pairs}p/{instances}i {progress:?}/{matching:?}"),
+            &sim,
+        )
+    } else {
+        sim.run()
+    };
     println!(
         "pairs={pairs} inst={instances} {progress:?} {matching:?}: \
          {:.0} msg/s, makespan {:.3} ms, {} msgs",
@@ -46,10 +54,18 @@ fn main() {
         r.makespan_ns as f64 / 1e6,
         r.total_messages
     );
-    println!("per-message virtual time: {:.0} ns", r.makespan_ns as f64 / r.total_messages as f64);
+    println!(
+        "per-message virtual time: {:.0} ns",
+        r.makespan_ns as f64 / r.total_messages as f64
+    );
     for (c, v) in r.spc.iter() {
         if v != 0 {
-            println!("  {:<32} {:>12}  ({:.2}/msg)", c.name(), v, v as f64 / r.total_messages as f64);
+            println!(
+                "  {:<32} {:>12}  ({:.2}/msg)",
+                c.name(),
+                v,
+                v as f64 / r.total_messages as f64
+            );
         }
     }
 }

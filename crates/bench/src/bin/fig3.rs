@@ -3,16 +3,34 @@
 //! matching (c), with ordering enforced.
 //!
 //! Usage: `cargo run --release -p fairmpi-bench --bin fig3 [-- --panel a|b|c]`
-//! (no panel: all three).
+//! (no panel: all three). With `--trace <out.json>` or
+//! `--spc-series <out.csv>` the sweep is replaced by one observed flagship
+//! run per panel (see `fairmpi_bench::observe`).
 
+use fairmpi_bench::observe::Observe;
 use fairmpi_bench::{check, figures, print_series, write_csv};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let observe = Observe::from_args(&mut args);
     let panels: Vec<char> = match args.iter().position(|a| a == "--panel") {
         Some(i) => vec![args[i + 1].chars().next().expect("panel letter")],
         None => vec!['a', 'b', 'c'],
     };
+
+    if observe.active() {
+        // One output file, one observed run: default to panel a unless the
+        // user picked one.
+        let panel = panels[0];
+        if panels.len() > 1 {
+            println!("observability mode: tracing panel {panel} only (pass --panel to choose)");
+        }
+        observe.run(
+            &format!("fig3{panel} flagship (1 inst / round-robin)"),
+            &figures::fig3_flagship(panel),
+        );
+        return;
+    }
 
     let mut all = Vec::new();
     for panel in panels {

@@ -3,11 +3,25 @@
 //! DESIGN.md §1) plus the paper's CRI designs. The paper plots this on a
 //! log Y axis.
 
+use fairmpi_bench::observe::Observe;
 use fairmpi_bench::{check, figures, print_series, write_csv};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let observe = Observe::from_args(&mut args);
+    if observe.active() {
+        observe.run(
+            "fig5 flagship (OMPI Thread baseline)",
+            &figures::fig5_flagship(),
+        );
+        return;
+    }
+
     let series = figures::fig5();
-    print_series("Fig 5: 0-byte msg rate (msg/s) vs communication pairs", &series);
+    print_series(
+        "Fig 5: 0-byte msg rate (msg/s) vs communication pairs",
+        &series,
+    );
     let path = write_csv("fig5", &series).expect("write csv");
     println!("wrote {}", path.display());
 

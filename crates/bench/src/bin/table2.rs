@@ -6,6 +6,7 @@
 //! `FAIRMPI_ITERS=1010` reproduces the paper's exact 2,585,600-message
 //! total (the default here; pass a smaller value for a quick run).
 
+use fairmpi_bench::observe::Observe;
 use fairmpi_bench::{check, env_usize, figures};
 
 /// Paper Table II reference values, for side-by-side printing.
@@ -22,7 +23,16 @@ const PAPER: [(&str, usize, u64, f64, f64); 9] = [
 ];
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let observe = Observe::from_args(&mut args);
     let iterations = env_usize("FAIRMPI_ITERS", 1010);
+    if observe.active() {
+        observe.run(
+            "table2 flagship (1 inst / serial progress)",
+            &figures::table2_flagship(iterations),
+        );
+        return;
+    }
     println!(
         "Table II reproduction: 20 thread pairs, dedicated assignment, \
          window 128, {iterations} iterations \
@@ -35,9 +45,8 @@ fn main() {
         "\n{:<34} {:>5} | {:>12} {:>8} {:>12} | {:>12} {:>8} {:>12}",
         "group", "inst", "OOS (ours)", "% (ours)", "match ms", "OOS (paper)", "%", "match ms"
     );
-    let mut csv = String::from(
-        "group,instances,oos,oos_pct,match_ms,paper_oos,paper_pct,paper_match_ms\n",
-    );
+    let mut csv =
+        String::from("group,instances,oos,oos_pct,match_ms,paper_oos,paper_pct,paper_match_ms\n");
     for (cell, paper) in cells.iter().zip(PAPER.iter()) {
         assert_eq!(cell.group, paper.0);
         assert_eq!(cell.instances, paper.1);

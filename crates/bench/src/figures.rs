@@ -1,10 +1,10 @@
 //! Experiment drivers, one per paper figure/table.
 
+use fairmpi_vsim::workload::multirate::SimMatchLayout;
 use fairmpi_vsim::{
     CostModel, Machine, MachinePreset, MultirateSim, RmamtSim, SimAssignment, SimDesign,
     SimProgress,
 };
-use fairmpi_vsim::workload::multirate::SimMatchLayout;
 
 use crate::stats::over_reps;
 use crate::{env_usize, Point, Series};
@@ -25,7 +25,12 @@ fn max_pairs() -> usize {
     env_usize("FAIRMPI_MAX_PAIRS", 20)
 }
 
-fn run_point(machine: &Machine, pairs: usize, design: SimDesign, cost: Option<CostModel>) -> (f64, f64) {
+fn run_point(
+    machine: &Machine,
+    pairs: usize,
+    design: SimDesign,
+    cost: Option<CostModel>,
+) -> (f64, f64) {
     over_reps(reps(), |seed| {
         MultirateSim {
             machine: machine.clone(),
@@ -104,6 +109,33 @@ pub fn fig3(panel: char) -> Vec<Series> {
     multirate_grid(progress, matching, false)
 }
 
+/// The flagship design point of a Fig. 3 panel for observability mode
+/// (`--trace` / `--spc-series`): the panel's progress/matching design with a
+/// **single shared instance** under round-robin assignment at the full pair
+/// count — the most contended cell of the grid, where the instance-lock
+/// convoy the paper describes is most visible.
+pub fn fig3_flagship(panel: char) -> MultirateSim {
+    let (progress, matching) = panel_params(panel);
+    MultirateSim {
+        machine: Machine::preset(MachinePreset::Alembert),
+        pairs: max_pairs(),
+        window: 128,
+        iterations: iters(),
+        design: SimDesign {
+            instances: 1,
+            assignment: SimAssignment::RoundRobin,
+            progress,
+            matching,
+            allow_overtaking: false,
+            any_tag: false,
+            big_lock: false,
+            process_mode: false,
+        },
+        seed: 1,
+        cost: None,
+    }
+}
+
 /// Paper Fig. 4: zero-byte message rate with message overtaking
 /// (`mpi_assert_allow_overtaking` + `MPI_ANY_TAG` receives).
 pub fn fig4(panel: char) -> Vec<Series> {
@@ -168,6 +200,22 @@ pub fn fig5() -> Vec<Series> {
             sweep(&machine, label.to_string(), design, cost)
         })
         .collect()
+}
+
+/// The flagship design point of Fig. 5 for observability mode: the "OMPI
+/// Thread" baseline (one instance, serial progress, single matching engine)
+/// at the full pair count — the design whose lock convoy motivates the
+/// whole paper.
+pub fn fig5_flagship() -> MultirateSim {
+    MultirateSim {
+        machine: Machine::preset(MachinePreset::Alembert),
+        pairs: max_pairs(),
+        window: 128,
+        iterations: iters(),
+        design: SimDesign::baseline(),
+        seed: 1,
+        cost: None,
+    }
 }
 
 /// One message-size panel of Figs. 6/7.
@@ -311,6 +359,30 @@ pub fn report_rma_figure(name: &str, panels: &[RmaPanel]) {
     );
 }
 
+/// The flagship design point of Table II for observability mode: the
+/// 1-instance serial-progress cell (Table II's leftmost column), where
+/// every packet funnels through one instance lock and one matching engine.
+pub fn table2_flagship(iterations: usize) -> MultirateSim {
+    MultirateSim {
+        machine: Machine::preset(MachinePreset::Alembert),
+        pairs: 20,
+        window: 128,
+        iterations,
+        design: SimDesign {
+            instances: 1,
+            assignment: SimAssignment::Dedicated,
+            progress: SimProgress::Serial,
+            matching: SimMatchLayout::SingleComm,
+            allow_overtaking: false,
+            any_tag: false,
+            big_lock: false,
+            process_mode: false,
+        },
+        seed: 0xBEEF,
+        cost: None,
+    }
+}
+
 /// One cell of Table II.
 #[derive(Debug, Clone)]
 pub struct Table2Cell {
@@ -334,7 +406,11 @@ pub struct Table2Cell {
 pub fn table2(iterations: usize) -> Vec<Table2Cell> {
     let machine = Machine::preset(MachinePreset::Alembert);
     let groups: [(&'static str, SimProgress, SimMatchLayout); 3] = [
-        ("Serial Progress", SimProgress::Serial, SimMatchLayout::SingleComm),
+        (
+            "Serial Progress",
+            SimProgress::Serial,
+            SimMatchLayout::SingleComm,
+        ),
         (
             "Concurrent Progress",
             SimProgress::Concurrent,

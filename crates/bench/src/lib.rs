@@ -14,8 +14,16 @@
 //!   `table2` defaults to the paper's full 1010).
 //! * `FAIRMPI_MAX_PAIRS` — x-axis maximum for Figs. 3-5 (default 20).
 //! * `FAIRMPI_RMA_OPS` — puts per thread for Figs. 6-7 (default 1000).
+//! * `FAIRMPI_SPC_INTERVAL_US` — SPC time-series sampling interval in
+//!   virtual microseconds for `--spc-series` (default 50).
+//!
+//! The fig3, fig5, table2 and diag binaries also accept
+//! `--trace <out.json>` (Perfetto trace + lock-contention report) and
+//! `--spc-series <out.csv>` (message-rate time-series); see
+//! [`observe`] for how observability mode changes what runs.
 
 pub mod figures;
+pub mod observe;
 pub mod stats;
 
 use std::fs;
@@ -97,7 +105,11 @@ pub fn print_series(title: &str, series: &[Series]) {
 /// Print a `[check]` line with a PASS/FAIL verdict for a qualitative
 /// claim; returns whether it held.
 pub fn check(claim: &str, held: bool) -> bool {
-    println!("[check] {} ... {}", claim, if held { "PASS" } else { "FAIL" });
+    println!(
+        "[check] {} ... {}",
+        claim,
+        if held { "PASS" } else { "FAIL" }
+    );
     held
 }
 

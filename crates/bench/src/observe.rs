@@ -1,0 +1,102 @@
+//! Observability wiring shared by the bench binaries.
+//!
+//! `--trace <out.json>` records a Chrome-trace-event file (load it in
+//! Perfetto or `chrome://tracing`) and prints the lock-contention report;
+//! `--spc-series <out.csv>` samples the SPC counters on a fixed virtual-time
+//! interval and writes a per-interval rate time-series.
+//!
+//! A full figure runs hundreds of simulations; a trace of all of them would
+//! be unreadable and enormous. When either flag is present the binaries
+//! instead run **one flagship design point** of their figure (see the
+//! `*_flagship` constructors in [`crate::figures`]) under observation and
+//! skip the sweep.
+
+use std::path::PathBuf;
+
+use fairmpi_trace as trace;
+use fairmpi_vsim::MultirateSim;
+
+/// Parsed observability flags.
+#[derive(Debug, Default)]
+pub struct Observe {
+    /// Destination for the Chrome-trace-event JSON (`--trace`).
+    pub trace_path: Option<PathBuf>,
+    /// Destination for the SPC time-series CSV (`--spc-series`).
+    pub spc_series_path: Option<PathBuf>,
+}
+
+impl Observe {
+    /// Strip `--trace <path>` / `--spc-series <path>` out of `args`,
+    /// leaving the binary's own arguments in place.
+    pub fn from_args(args: &mut Vec<String>) -> Self {
+        fn take(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
+            let i = args.iter().position(|a| a == flag)?;
+            assert!(i + 1 < args.len(), "{flag} requires a path argument");
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Some(PathBuf::from(value))
+        }
+        Self {
+            trace_path: take(args, "--trace"),
+            spc_series_path: take(args, "--spc-series"),
+        }
+    }
+
+    /// Whether any observability output was requested.
+    pub fn active(&self) -> bool {
+        self.trace_path.is_some() || self.spc_series_path.is_some()
+    }
+
+    /// SPC sampling interval in virtual nanoseconds
+    /// (`FAIRMPI_SPC_INTERVAL_US`, default 50 µs).
+    fn series_interval_ns(&self) -> u64 {
+        crate::env_usize("FAIRMPI_SPC_INTERVAL_US", 50) as u64 * 1_000
+    }
+
+    /// Run one simulation under observation: arm the recorder on virtual
+    /// time, execute, then write the requested artifacts and print the
+    /// top-10 lock-contention table. Returns the simulation result.
+    pub fn run(&self, label: &str, sim: &MultirateSim) -> fairmpi_vsim::MultirateResult {
+        trace::start_virtual();
+        let interval = self
+            .spc_series_path
+            .is_some()
+            .then(|| self.series_interval_ns());
+        let (result, series) = sim.run_observed(interval);
+        let t = trace::stop();
+
+        println!("\n== observed run: {label} ==");
+        println!(
+            "{:.0} msg/s, {} messages, makespan {:.3} ms (virtual)",
+            result.msg_rate_per_s,
+            result.total_messages,
+            result.makespan_ns as f64 / 1e6
+        );
+
+        if let Some(path) = &self.trace_path {
+            if !cfg!(feature = "trace") {
+                println!(
+                    "note: fairmpi-bench built without the `trace` feature; \
+                     the trace will be empty"
+                );
+            }
+            std::fs::write(path, t.to_chrome_json()).expect("write trace json");
+            println!(
+                "wrote {} (open in Perfetto / chrome://tracing)",
+                path.display()
+            );
+        }
+        if let (Some(path), Some(series)) = (&self.spc_series_path, &series) {
+            std::fs::write(path, series.to_csv()).expect("write spc series csv");
+            println!(
+                "wrote {} ({} samples @ {} ns)",
+                path.display(),
+                series.len(),
+                self.series_interval_ns()
+            );
+        }
+
+        print!("{}", t.contention_report().render(10));
+        result
+    }
+}

@@ -13,7 +13,9 @@ pub fn mean_std(samples: &[f64]) -> (f64, f64) {
 
 /// Run `f` for `reps` seeds and fold into (mean, stddev).
 pub fn over_reps(reps: usize, mut f: impl FnMut(u64) -> f64) -> (f64, f64) {
-    let samples: Vec<f64> = (0..reps.max(1)).map(|r| f(0xFA1B + r as u64 * 7919)).collect();
+    let samples: Vec<f64> = (0..reps.max(1))
+        .map(|r| f(0xFA1B + r as u64 * 7919))
+        .collect();
     mean_std(&samples)
 }
 

@@ -40,12 +40,7 @@ pub(crate) struct CommState {
 }
 
 impl CommState {
-    pub(crate) fn new(
-        id: CommId,
-        size: usize,
-        allow_overtaking: bool,
-        spc: Arc<SpcSet>,
-    ) -> Self {
+    pub(crate) fn new(id: CommId, size: usize, allow_overtaking: bool, spc: Arc<SpcSet>) -> Self {
         Self {
             id,
             size,

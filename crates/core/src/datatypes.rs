@@ -48,7 +48,7 @@ pub fn encode_slice<T: Datatype>(values: &[T]) -> Vec<u8> {
 /// Decode wire bytes into elements; errors if the length is not a whole
 /// number of elements.
 pub fn decode_slice<T: Datatype>(bytes: &[u8]) -> Result<Vec<T>> {
-    if bytes.len() % T::WIDTH != 0 {
+    if !bytes.len().is_multiple_of(T::WIDTH) {
         return Err(MpiError::Truncated {
             message_len: bytes.len(),
             capacity: (bytes.len() / T::WIDTH) * T::WIDTH,

@@ -46,16 +46,16 @@
 //! ```
 
 mod collectives;
-pub mod datatypes;
 mod comm;
+pub mod datatypes;
 mod design;
 mod error;
 mod handler;
 mod p2p;
 mod proc;
 mod request;
-pub mod tuning;
 mod rma;
+pub mod tuning;
 mod world;
 
 #[cfg(test)]
@@ -63,7 +63,9 @@ mod tests;
 
 pub use collectives::ReduceOp;
 pub use comm::Communicator;
-pub use design::{Assignment, DesignConfig, DesignPreset, LockModel, MatchMode, ProgressMode, ThreadLevel};
+pub use design::{
+    Assignment, DesignConfig, DesignPreset, LockModel, MatchMode, ProgressMode, ThreadLevel,
+};
 pub use error::{MpiError, Result};
 pub use proc::Proc;
 pub use request::{Message, Request};

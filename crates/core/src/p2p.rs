@@ -3,6 +3,7 @@
 use fairmpi_fabric::{Envelope, Packet, PacketKind, Rank, Tag, ANY_SOURCE, ANY_TAG};
 use fairmpi_matching::{PostOutcome, PostedRecv};
 use fairmpi_spc::Counter;
+use fairmpi_trace as trace;
 
 use crate::comm::Communicator;
 use crate::error::{MpiError, Result};
@@ -52,6 +53,7 @@ impl Proc {
         tag: Tag,
         comm: Communicator,
     ) -> Result<Request> {
+        let _span = trace::span("mpi.send");
         let st = &self.state;
         let cs = st.comm_state(comm.id)?;
         if dst as usize >= cs.size {
@@ -104,7 +106,13 @@ impl Proc {
     /// Nonblocking receive (`MPI_Irecv`) into an internal buffer of
     /// `capacity` bytes. `src` may be [`ANY_SOURCE`], `tag` may be
     /// [`ANY_TAG`]. The message is returned by [`Proc::wait`].
-    pub fn irecv(&self, capacity: usize, src: i32, tag: Tag, comm: Communicator) -> Result<Request> {
+    pub fn irecv(
+        &self,
+        capacity: usize,
+        src: i32,
+        tag: Tag,
+        comm: Communicator,
+    ) -> Result<Request> {
         self.validate_recv(src, tag)?;
         self.irecv_unchecked(capacity, src, tag, comm)
     }
@@ -117,6 +125,7 @@ impl Proc {
         tag: Tag,
         comm: Communicator,
     ) -> Result<Request> {
+        let _span = trace::span("mpi.recv");
         let st = &self.state;
         st.comm_state(comm.id)?;
         let req = st.requests.new_recv(capacity);
@@ -149,6 +158,7 @@ impl Proc {
     /// engine while waiting. Send requests yield an empty acknowledgment
     /// message; receive requests yield the received message.
     pub fn wait(&self, request: &Request) -> Result<Message> {
+        let _span = trace::span("mpi.wait");
         let st = &self.state;
         let inner = st
             .requests
@@ -238,8 +248,9 @@ impl Proc {
     /// Nonblocking probe (`MPI_Iprobe`).
     pub fn iprobe(&self, src: i32, tag: Tag, comm: Communicator) -> Result<Option<(Rank, Tag)>> {
         self.validate_recv(src, tag)?;
-        self.state
-            .with_matcher(comm.id, |m| m.iprobe(comm.id, src, tag).map(|e| (e.src, e.tag)))
+        self.state.with_matcher(comm.id, |m| {
+            m.iprobe(comm.id, src, tag).map(|e| (e.src, e.tag))
+        })
     }
 
     /// Cancel a pending receive (`MPI_Cancel`). Returns true if the receive
@@ -261,6 +272,7 @@ impl Proc {
     }
 
     /// Combined send and receive (`MPI_Sendrecv`).
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI_Sendrecv signature
     pub fn sendrecv(
         &self,
         send_buf: &[u8],

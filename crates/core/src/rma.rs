@@ -138,11 +138,14 @@ impl WindowState {
     }
 
     pub(crate) fn pending_inc(&self, origin: Rank, target: Rank) {
-        self.pending_slot(origin, target).fetch_add(1, Ordering::AcqRel);
+        self.pending_slot(origin, target)
+            .fetch_add(1, Ordering::AcqRel);
     }
 
     pub(crate) fn pending_dec(&self, origin: Rank, target: Rank) {
-        let prev = self.pending_slot(origin, target).fetch_sub(1, Ordering::AcqRel);
+        let prev = self
+            .pending_slot(origin, target)
+            .fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "RMA completion without a pending op");
     }
 
@@ -167,7 +170,9 @@ impl WindowState {
     /// Raw byte load from a target buffer.
     pub(crate) fn load_bytes(&self, target: Rank, offset: usize, len: usize) -> Vec<u8> {
         let buf = &self.buffers[target as usize];
-        (0..len).map(|i| buf[offset + i].load(Ordering::Relaxed)).collect()
+        (0..len)
+            .map(|i| buf[offset + i].load(Ordering::Relaxed))
+            .collect()
     }
 
     fn load_u64(&self, target: Rank, offset: usize) -> u64 {
@@ -233,7 +238,7 @@ impl WindowState {
 
     fn validate_atomic(&self, offset: usize, len: usize) -> Result<()> {
         self.check_range(offset, len)?;
-        if offset % 8 != 0 || len % 8 != 0 {
+        if !offset.is_multiple_of(8) || !len.is_multiple_of(8) {
             return Err(MpiError::MisalignedAtomic(offset));
         }
         Ok(())

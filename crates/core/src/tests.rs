@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use crate::{
-    AccumulateOp, Assignment, Counter, DesignConfig, LockModel, MatchMode, MpiError,
-    ProgressMode, World, ANY_SOURCE, ANY_TAG,
+    Assignment, Counter, DesignConfig, LockModel, MatchMode, MpiError, ProgressMode, World,
+    ANY_SOURCE, ANY_TAG,
 };
 
 fn two_rank_world(design: DesignConfig) -> World {
@@ -129,9 +129,7 @@ fn waitall_collects_in_request_order() {
     let comm = world.comm_world();
     let p0 = world.proc(0);
     let p1 = world.proc(1);
-    let reqs: Vec<_> = (0..10)
-        .map(|i| p1.irecv(8, 0, i, comm).unwrap())
-        .collect();
+    let reqs: Vec<_> = (0..10).map(|i| p1.irecv(8, 0, i, comm).unwrap()).collect();
     let t = std::thread::spawn(move || {
         for i in (0..10).rev() {
             p0.send(&[i as u8], 1, i, comm).unwrap();
@@ -216,7 +214,13 @@ fn truncation_on_rendezvous_path() {
     let t = std::thread::spawn(move || p0.send(&big, 1, 0, comm).unwrap());
     let err = p1.recv(1_000, 0, 0, comm).unwrap_err();
     t.join().unwrap();
-    assert!(matches!(err, MpiError::Truncated { message_len: 20_000, .. }));
+    assert!(matches!(
+        err,
+        MpiError::Truncated {
+            message_len: 20_000,
+            ..
+        }
+    ));
 }
 
 #[test]

@@ -158,8 +158,7 @@ impl Cvars {
         for (name, value) in &self.values {
             match name.as_str() {
                 "num_instances" => {
-                    design.num_instances =
-                        value.parse().map_err(|_| err(name, value))?;
+                    design.num_instances = value.parse().map_err(|_| err(name, value))?;
                 }
                 "assignment" => {
                     design.assignment = match value.as_str() {
@@ -265,11 +264,7 @@ mod tests {
         for cvar in CVARS {
             for v in cvar.values {
                 let set = Cvars::new().set(cvar.name, v).unwrap();
-                assert!(
-                    set.resolve().is_ok(),
-                    "{}={v} must resolve",
-                    cvar.name
-                );
+                assert!(set.resolve().is_ok(), "{}={v} must resolve", cvar.name);
             }
         }
     }

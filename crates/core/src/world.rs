@@ -122,7 +122,9 @@ impl World {
 
     /// Handles to every rank.
     pub fn procs(&self) -> Vec<Proc> {
-        (0..self.num_ranks() as Rank).map(|r| self.proc(r)).collect()
+        (0..self.num_ranks() as Rank)
+            .map(|r| self.proc(r))
+            .collect()
     }
 
     /// `MPI_COMM_WORLD` (id 0, created at build time).
@@ -161,7 +163,9 @@ impl World {
     /// Free a window (`MPI_Win_free`). Callers must have flushed.
     pub fn free_window(&self, id: WindowId) -> Result<()> {
         // Validate it exists first for a useful error.
-        self.windows.get(id).map_err(|_| MpiError::InvalidWindow(id.0 as u64))?;
+        self.windows
+            .get(id)
+            .map_err(|_| MpiError::InvalidWindow(id.0 as u64))?;
         self.windows.free(id);
         Ok(())
     }

@@ -7,6 +7,7 @@ use fairmpi_fabric::{
     busy_wait_ns, Completion, CompletionKind, DrainGuard, Fabric, NetworkContext, Packet,
 };
 use fairmpi_spc::{Counter, SpcSet};
+use fairmpi_trace as trace;
 
 /// One communication resources instance: a network context (with its rx
 /// ring and completion queue) plus the lock that protects it.
@@ -15,6 +16,8 @@ pub struct Cri {
     index: usize,
     context: Arc<NetworkContext>,
     lock: Mutex<()>,
+    /// Per-session interned trace name for this instance's lock.
+    trace_name: trace::NameCache,
 }
 
 impl Cri {
@@ -23,7 +26,13 @@ impl Cri {
             index,
             context,
             lock: Mutex::new(()),
+            trace_name: trace::NameCache::new(),
         }
+    }
+
+    fn lock_name(&self) -> Option<trace::NameId> {
+        self.trace_name
+            .get(|| format!("cri.instance[{}]", self.index))
     }
 
     /// Position of this instance in its pool (== its context index).
@@ -49,11 +58,22 @@ impl Cri {
     /// Acquire the instance, blocking on contention (paper Algorithm 1's
     /// `LOCK(instance[k] → lock)`).
     pub fn lock<'a>(&'a self, spc: &SpcSet) -> CriGuard<'a> {
+        let name = self.lock_name();
+        let wait_from = name.map(|_| trace::now_ns());
         let guard = self.lock.lock();
+        let acquired_at = if let (Some(n), Some(from)) = (name, wait_from) {
+            let at = trace::now_ns();
+            trace::lock_acquired(n, at.saturating_sub(from));
+            at
+        } else {
+            0
+        };
         spc.inc(Counter::InstanceLockAcquisitions);
         CriGuard {
             cri: self,
             _lock: guard,
+            trace_name: name,
+            acquired_at,
         }
     }
 
@@ -66,13 +86,26 @@ impl Cri {
         match self.lock.try_lock() {
             Some(guard) => {
                 spc.inc(Counter::InstanceLockAcquisitions);
+                let name = self.lock_name();
+                let acquired_at = name
+                    .map(|n| {
+                        let at = trace::now_ns();
+                        trace::lock_acquired(n, 0);
+                        at
+                    })
+                    .unwrap_or(0);
                 Some(CriGuard {
                     cri: self,
                     _lock: guard,
+                    trace_name: name,
+                    acquired_at,
                 })
             }
             None => {
                 spc.inc(Counter::InstanceTryLockFailures);
+                if let Some(n) = self.lock_name() {
+                    trace::try_lock_fail(n);
+                }
                 None
             }
         }
@@ -88,6 +121,17 @@ impl Cri {
 pub struct CriGuard<'a> {
     cri: &'a Cri,
     _lock: MutexGuard<'a, ()>,
+    trace_name: Option<trace::NameId>,
+    acquired_at: u64,
+}
+
+impl Drop for CriGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(n) = self.trace_name {
+            let hold = trace::now_ns().saturating_sub(self.acquired_at);
+            trace::lock_released(n, hold);
+        }
+    }
 }
 
 impl<'a> CriGuard<'a> {

@@ -126,7 +126,7 @@ fn concurrent_round_robin_spreads_load() {
             })
         })
         .collect();
-    let mut total = vec![0usize; 4];
+    let mut total = [0usize; 4];
     for h in handles {
         for (i, c) in h.join().unwrap().into_iter().enumerate() {
             total[i] += c;

@@ -1,9 +1,7 @@
 //! The fabric cost model and machine presets (paper Table I).
 
-use serde::{Deserialize, Serialize};
-
 /// Which testbed a preset emulates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MachineKind {
     /// University of Tennessee "Alembert": dual 10-core Haswell,
     /// InfiniBand EDR (100 Gbps). Used for paper §IV-A through §IV-E.
@@ -23,7 +21,7 @@ pub enum MachineKind {
 /// descriptor to the NIC) and the **extraction overhead** (the work to pop
 /// one completion/packet). Their ratio to the matching cost determines where
 /// the two-sided bottleneck lands, which is the subject of paper Figs. 3-5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricConfig {
     /// Per-message cost, in nanoseconds, of injecting a descriptor into a
     /// network context. Charged while the instance lock is held.

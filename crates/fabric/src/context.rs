@@ -80,6 +80,7 @@ impl NetworkContext {
 
     /// Deposit a local completion event.
     pub fn post_completion(&self, completion: Completion) {
+        fairmpi_trace::instant("fabric.cq_completion");
         self.cq.push(completion);
     }
 

@@ -78,6 +78,7 @@ impl Fabric {
     /// source context. This is the wire's delivery step; in native mode the
     /// caller has already charged injection/serialization costs.
     pub fn deliver(&self, packet: Packet, src_ctx_index: usize) {
+        fairmpi_trace::instant("fabric.inject");
         let dst = packet.envelope.dst;
         debug_assert!((dst as usize) < self.ranks.len(), "rank {dst} out of range");
         self.route(dst, src_ctx_index).post_rx(packet);

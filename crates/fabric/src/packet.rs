@@ -1,7 +1,6 @@
 //! Wire packets and their matching envelopes.
 
 use crate::{CommId, Rank, SeqNo};
-use serde::{Deserialize, Serialize};
 
 /// MPI message tag.
 pub type Tag = i32;
@@ -22,7 +21,7 @@ pub const ANY_TAG: Tag = -1;
 /// for it in the cost model.
 ///
 /// [`FabricConfig::envelope_bytes`]: crate::FabricConfig::envelope_bytes
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Envelope {
     /// Sending rank.
     pub src: Rank,
@@ -38,7 +37,7 @@ pub struct Envelope {
 }
 
 /// One-sided operation kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RmaOp {
     /// Remote write.
     Put,

@@ -1,9 +1,11 @@
-//! Property tests over the fabric: routing totality, cost-model
-//! monotonicity, and queue discipline under concurrency.
+//! Randomized (seeded, deterministic) tests over the fabric: routing
+//! totality, cost-model monotonicity, and queue discipline under
+//! concurrency.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use fairmpi_fabric::{Envelope, Fabric, FabricConfig, MachineKind, Packet};
 
@@ -20,52 +22,69 @@ fn packet(dst: u32, seq: u64) -> Packet {
     )
 }
 
-proptest! {
-    /// Routing is total and stable: every (dst, src_ctx) pair maps to a
-    /// valid destination context, and the mapping is a function.
-    #[test]
-    fn routing_is_total_and_deterministic(
-        ranks in 1usize..6,
-        ctxs in 1usize..9,
-        dst in 0u32..6,
-        src_ctx in 0usize..64,
-    ) {
-        let dst = dst % ranks as u32;
-        let fabric = Fabric::new(ranks, ctxs, FabricConfig::test_default());
-        let a = fabric.route(dst, src_ctx).index();
-        let b = fabric.route(dst, src_ctx).index();
-        prop_assert_eq!(a, b);
-        prop_assert!(a < fabric.num_contexts(dst));
-        prop_assert_eq!(a, src_ctx % fabric.num_contexts(dst));
+/// Routing is total and stable: every (dst, src_ctx) pair maps to a
+/// valid destination context, and the mapping is a function.
+#[test]
+fn routing_is_total_and_deterministic() {
+    for ranks in 1usize..6 {
+        for ctxs in 1usize..9 {
+            let fabric = Fabric::new(ranks, ctxs, FabricConfig::test_default());
+            for dst in 0..ranks as u32 {
+                for src_ctx in 0usize..64 {
+                    let a = fabric.route(dst, src_ctx).index();
+                    let b = fabric.route(dst, src_ctx).index();
+                    assert_eq!(a, b);
+                    assert!(a < fabric.num_contexts(dst));
+                    assert_eq!(a, src_ctx % fabric.num_contexts(dst));
+                }
+            }
+        }
     }
+}
 
-    /// Serialization time is monotone in payload length and the peak rate
-    /// is antitone (never increases with size).
-    #[test]
-    fn cost_model_is_monotone(len_a in 0usize..1_000_000, len_b in 0usize..1_000_000) {
-        let cfg = FabricConfig::default();
-        let (lo, hi) = if len_a <= len_b { (len_a, len_b) } else { (len_b, len_a) };
-        prop_assert!(cfg.serialization_time_ns(lo) <= cfg.serialization_time_ns(hi));
-        prop_assert!(
-            cfg.theoretical_peak_msg_rate(lo) >= cfg.theoretical_peak_msg_rate(hi)
-        );
+/// Serialization time is monotone in payload length and the peak rate
+/// is antitone (never increases with size).
+#[test]
+fn cost_model_is_monotone() {
+    let cfg = FabricConfig::default();
+    let mut rng = SmallRng::seed_from_u64(0xC057);
+    for _ in 0..512 {
+        let len_a = rng.gen_range(0usize..1_000_000);
+        let len_b = rng.gen_range(0usize..1_000_000);
+        let (lo, hi) = if len_a <= len_b {
+            (len_a, len_b)
+        } else {
+            (len_b, len_a)
+        };
+        assert!(cfg.serialization_time_ns(lo) <= cfg.serialization_time_ns(hi));
+        assert!(cfg.theoretical_peak_msg_rate(lo) >= cfg.theoretical_peak_msg_rate(hi));
     }
+}
 
-    /// Context clamping respects the hardware cap and never returns zero.
-    #[test]
-    fn context_clamp_invariants(requested in 0usize..10_000, cap in 1usize..300) {
+/// Context clamping respects the hardware cap and never returns zero.
+#[test]
+fn context_clamp_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0xC1A9);
+    for _ in 0..512 {
+        let requested = rng.gen_range(0usize..10_000);
+        let cap = rng.gen_range(1usize..300);
         let mut cfg = FabricConfig::test_default();
         cfg.max_contexts = Some(cap);
         let granted = cfg.clamp_contexts(requested);
-        prop_assert!(granted >= 1);
-        prop_assert!(granted <= cap);
-        prop_assert!(granted <= requested.max(1));
+        assert!(granted >= 1);
+        assert!(granted <= cap);
+        assert!(granted <= requested.max(1));
     }
+}
 
-    /// A context's rx ring is FIFO for a single producer, regardless of
-    /// how pops interleave with pushes.
-    #[test]
-    fn rx_ring_fifo_under_interleaved_drain(ops in proptest::collection::vec(any::<bool>(), 1..80)) {
+/// A context's rx ring is FIFO for a single producer, regardless of
+/// how pops interleave with pushes.
+#[test]
+fn rx_ring_fifo_under_interleaved_drain() {
+    for seed in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1F0);
+        let n_ops = rng.gen_range(1usize..80);
+        let ops: Vec<bool> = (0..n_ops).map(|_| rng.gen_range(0u64..2) == 1).collect();
         let fabric = Fabric::new(2, 1, FabricConfig::test_default());
         let ctx = fabric.context(1, 0);
         let mut pushed = 0u64;
@@ -77,7 +96,7 @@ proptest! {
             } else {
                 let mut drain = ctx.begin_drain();
                 if let Some(p) = drain.pop_rx() {
-                    prop_assert_eq!(p.envelope.seq, popped);
+                    assert_eq!(p.envelope.seq, popped);
                     popped += 1;
                 }
             }
@@ -85,10 +104,10 @@ proptest! {
         // Drain the remainder.
         let mut drain = ctx.begin_drain();
         while let Some(p) = drain.pop_rx() {
-            prop_assert_eq!(p.envelope.seq, popped);
+            assert_eq!(p.envelope.seq, popped);
             popped += 1;
         }
-        prop_assert_eq!(popped, pushed);
+        assert_eq!(popped, pushed);
     }
 }
 

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use fairmpi_fabric::{CommId, Envelope, Packet, Rank, SeqNo, Tag};
 use fairmpi_spc::{Counter, SpcSet};
+use fairmpi_trace as trace;
 
 use crate::{MatchEvent, MatchWork, PostOutcome, PostedRecv};
 
@@ -65,6 +66,7 @@ impl Matcher {
     /// buffered out-of-sequence packets that became admissible — are pushed
     /// onto `out`. Returns the work receipt for time accounting.
     pub fn deliver(&mut self, packet: Packet, out: &mut Vec<MatchEvent>) -> MatchWork {
+        let _span = trace::span("match.deliver");
         let mut work = MatchWork::default();
         if self.allow_overtaking {
             self.spc.inc(Counter::OvertakenMessages);
@@ -91,15 +93,15 @@ impl Matcher {
                     None => break,
                 }
             }
+            if work.oos_drained > 0 {
+                trace::counter("match.oos_flush", work.oos_drained as u64);
+            }
         } else if seq > state.expected {
             state.out_of_sequence.insert(seq, packet);
             work.oos_buffered += 1;
+            trace::instant("match.oos_insert");
             self.spc.inc(Counter::OutOfSequenceMessages);
-            let buffered: usize = self
-                .sources
-                .values()
-                .map(|s| s.out_of_sequence.len())
-                .sum();
+            let buffered: usize = self.sources.values().map(|s| s.out_of_sequence.len()).sum();
             self.spc
                 .record_max(Counter::MaxOutOfSequenceBuffered, buffered as u64);
         } else {
@@ -118,6 +120,7 @@ impl Matcher {
             r.matches(&packet.envelope)
         });
         work.traversed += inspected;
+        trace::counter("match.search_len", inspected as u64);
         self.spc
             .add(Counter::MatchQueueTraversals, inspected as u64);
         match hit {
@@ -144,6 +147,7 @@ impl Matcher {
     /// Post a receive: search the unexpected queue first, then append to the
     /// posted-receive queue.
     pub fn post_recv(&mut self, recv: PostedRecv) -> (PostOutcome, MatchWork) {
+        let _span = trace::span("match.post");
         let mut work = MatchWork::default();
         let mut inspected = 0usize;
         let hit = self.umq.iter().position(|p| {
@@ -151,6 +155,7 @@ impl Matcher {
             recv.matches(&p.envelope)
         });
         work.traversed += inspected;
+        trace::counter("match.search_len", inspected as u64);
         self.spc
             .add(Counter::MatchQueueTraversals, inspected as u64);
         match hit {
@@ -208,10 +213,7 @@ impl Matcher {
 
     /// Messages currently parked out of sequence, across all sources.
     pub fn out_of_sequence_len(&self) -> usize {
-        self.sources
-            .values()
-            .map(|s| s.out_of_sequence.len())
-            .sum()
+        self.sources.values().map(|s| s.out_of_sequence.len()).sum()
     }
 
     /// The next sequence number expected from `(comm, src)`.

@@ -1,4 +1,4 @@
-//! Unit and property tests for the matching engine.
+//! Unit and randomized (seeded, deterministic) tests for the matching engine.
 
 use std::sync::Arc;
 
@@ -218,7 +218,17 @@ fn spc_counters_reflect_table_ii_quantities() {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic Fisher–Yates permutation of `0..n`.
+    fn permutation(rng: &mut SmallRng, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            v.swap(i, rng.gen_range(0usize..=i));
+        }
+        v
+    }
 
     /// Deliver a random permutation of seq 0..n and assert every message is
     /// admitted exactly once, in sequence order.
@@ -242,20 +252,23 @@ mod properties {
         assert_eq!(m.unexpected_len(), 0);
     }
 
-    proptest! {
-        #[test]
-        fn any_permutation_is_reordered_into_fifo(perm in proptest::sample::subsequence((0..32usize).collect::<Vec<_>>(), 32).prop_shuffle()) {
-            scrambled_delivery(perm);
+    #[test]
+    fn any_permutation_is_reordered_into_fifo() {
+        for seed in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            scrambled_delivery(permutation(&mut rng, 32));
         }
+    }
 
-        /// Interleave posting receives and delivering a scrambled stream;
-        /// regardless of interleaving, the k-th matched message must be the
-        /// k-th sent (FIFO per source with identical tags).
-        #[test]
-        fn posts_and_delivers_interleaved_keep_fifo(
-            order in proptest::collection::vec(any::<bool>(), 64),
-            shuffle in (0..24usize).prop_map(|k| k),
-        ) {
+    /// Interleave posting receives and delivering a scrambled stream;
+    /// regardless of interleaving, the k-th matched message must be the
+    /// k-th sent (FIFO per source with identical tags).
+    #[test]
+    fn posts_and_delivers_interleaved_keep_fifo() {
+        for seed in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1F0);
+            let order: Vec<bool> = (0..64).map(|_| rng.gen_range(0u64..2) == 1).collect();
+            let shuffle = rng.gen_range(0usize..24);
             let n = 24usize;
             // A deterministic scramble parameterized by `shuffle`.
             let mut seqs: Vec<u64> = (0..n as u64).collect();
@@ -265,7 +278,7 @@ mod properties {
             // PRQ hits during delivery and UMQ hits at post time.
             let mut matched: Vec<u64> = Vec::new();
             let mut out = Vec::new();
-            let mut post = |m: &mut Matcher, matched: &mut Vec<u64>, token: u64| {
+            let post = |m: &mut Matcher, matched: &mut Vec<u64>, token: u64| {
                 if let PostOutcome::Matched(p) = m.post_recv(recv(token, 0, 7, 0)).0 {
                     matched.push(p.envelope.seq);
                 }
@@ -291,15 +304,19 @@ mod properties {
                 matched.extend(out.drain(..).map(|e| e.packet.envelope.seq));
                 next_deliver += 1;
             }
-            prop_assert_eq!(matched.len(), n);
+            assert_eq!(matched.len(), n);
             for (i, &seq) in matched.iter().enumerate() {
-                prop_assert_eq!(seq, i as u64);
+                assert_eq!(seq, i as u64);
             }
         }
+    }
 
-        /// Overtaking mode: messages match in *arrival* order instead.
-        #[test]
-        fn overtaking_matches_in_arrival_order(perm in proptest::sample::subsequence((0..16usize).collect::<Vec<_>>(), 16).prop_shuffle()) {
+    /// Overtaking mode: messages match in *arrival* order instead.
+    #[test]
+    fn overtaking_matches_in_arrival_order() {
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x07E8);
+            let perm = permutation(&mut rng, 16);
             let n = perm.len();
             let mut m = matcher(true);
             let mut out = Vec::new();
@@ -309,18 +326,19 @@ mod properties {
             for &seq in &perm {
                 m.deliver(pkt(0, seq as i32, 0, seq as u64), &mut out);
             }
-            prop_assert_eq!(out.len(), n);
+            assert_eq!(out.len(), n);
             for (i, ev) in out.iter().enumerate() {
                 // i-th arrival matched i-th posted receive, whatever its seq.
-                prop_assert_eq!(ev.token, i as u64);
-                prop_assert_eq!(ev.packet.envelope.seq, perm[i] as u64);
+                assert_eq!(ev.token, i as u64);
+                assert_eq!(ev.packet.envelope.seq, perm[i] as u64);
             }
         }
     }
 
     #[test]
     fn interleaved_posts_cover_umq_path() {
-        // Directed version of the proptest: all delivers first, then posts.
+        // Directed version of the random interleaving: all delivers first,
+        // then posts.
         let n = 8;
         let mut m = matcher(false);
         let mut out = Vec::new();
@@ -338,16 +356,16 @@ mod properties {
         assert_eq!(matched, (0..n as u64).collect::<Vec<_>>());
     }
 
-    proptest! {
-        /// Multi-source scramble: each source's stream is independently
-        /// permuted and interleaved; every stream must be re-serialized in
-        /// its own sequence order.
-        #[test]
-        fn multi_source_streams_reorder_independently(
-            perm_a in proptest::sample::subsequence((0..12usize).collect::<Vec<_>>(), 12).prop_shuffle(),
-            perm_b in proptest::sample::subsequence((0..12usize).collect::<Vec<_>>(), 12).prop_shuffle(),
-            interleave in proptest::collection::vec(any::<bool>(), 24),
-        ) {
+    /// Multi-source scramble: each source's stream is independently
+    /// permuted and interleaved; every stream must be re-serialized in
+    /// its own sequence order.
+    #[test]
+    fn multi_source_streams_reorder_independently() {
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x50_0C);
+            let perm_a = permutation(&mut rng, 12);
+            let perm_b = permutation(&mut rng, 12);
+            let interleave: Vec<bool> = (0..24).map(|_| rng.gen_range(0u64..2) == 1).collect();
             let mut m = matcher(false);
             let mut out = Vec::new();
             let (mut ia, mut ib) = (0usize, 0usize);
@@ -370,16 +388,21 @@ mod properties {
             }
             // All 24 admitted to the UMQ (no receives posted), and each
             // source's admission order is exactly 0..12.
-            prop_assert_eq!(m.unexpected_len(), 24);
-            prop_assert_eq!(m.out_of_sequence_len(), 0);
-            prop_assert_eq!(m.expected_seq(0, 1), 12);
-            prop_assert_eq!(m.expected_seq(0, 2), 12);
+            assert_eq!(m.unexpected_len(), 24);
+            assert_eq!(m.out_of_sequence_len(), 0);
+            assert_eq!(m.expected_seq(0, 1), 12);
+            assert_eq!(m.expected_seq(0, 2), 12);
         }
+    }
 
-        /// Work receipts always balance: every delivered message is
-        /// eventually matched or queued, never both, never lost.
-        #[test]
-        fn work_receipts_balance(perm in proptest::sample::subsequence((0..20usize).collect::<Vec<_>>(), 20).prop_shuffle(), posted in 0usize..20) {
+    /// Work receipts always balance: every delivered message is
+    /// eventually matched or queued, never both, never lost.
+    #[test]
+    fn work_receipts_balance() {
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA1A);
+            let perm = permutation(&mut rng, 20);
+            let posted = rng.gen_range(0usize..20);
             let mut m = matcher(false);
             let mut out = Vec::new();
             let mut work = crate::MatchWork::default();
@@ -390,9 +413,9 @@ mod properties {
             for &seq in &perm {
                 work.absorb(m.deliver(pkt(0, 7, 0, seq as u64), &mut out));
             }
-            prop_assert_eq!(work.matches + work.unexpected, perm.len());
-            prop_assert_eq!(work.oos_buffered, work.oos_drained);
-            prop_assert_eq!(out.len() + m.unexpected_len(), perm.len());
+            assert_eq!(work.matches + work.unexpected, perm.len());
+            assert_eq!(work.oos_buffered, work.oos_drained);
+            assert_eq!(out.len() + m.unexpected_len(), perm.len());
         }
     }
 

@@ -19,19 +19,16 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
 use fairmpi::{
     Assignment, Communicator, DesignConfig, LockModel, MatchMode, Proc, ProgressMode, Rank,
     SpcSnapshot, World, ANY_TAG,
 };
 use fairmpi_vsim::{
-    Machine, MultirateResult, MultirateSim, SimAssignment, SimDesign, SimMatchLayout,
-    SimProgress,
+    Machine, MultirateResult, MultirateSim, SimAssignment, SimDesign, SimMatchLayout, SimProgress,
 };
 
 /// How communication entities map onto ranks (paper Fig. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Pair *i* is ranks (2i, 2i+1), each driven by one thread — the
     /// process-to-process baseline.
@@ -93,7 +90,7 @@ impl MultirateConfig {
 }
 
 /// Result of a native (wall-clock) run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultirateReport {
     /// Aggregate message rate (messages per wall-clock second).
     pub msg_rate_per_s: f64,
@@ -110,13 +107,7 @@ fn pair_tag(pair: usize) -> i32 {
 }
 
 /// One sender entity: `iterations` windows of `window` isends.
-fn run_sender(
-    proc: &Proc,
-    dst: Rank,
-    comm: Communicator,
-    cfg: &MultirateConfig,
-    pair: usize,
-) {
+fn run_sender(proc: &Proc, dst: Rank, comm: Communicator, cfg: &MultirateConfig, pair: usize) {
     let payload = vec![0u8; cfg.msg_size];
     for _ in 0..cfg.iterations {
         let reqs: Vec<_> = (0..cfg.window)

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use fairmpi_cri::{Assignment, Cri, CriPool};
 use fairmpi_fabric::{busy_wait_ns, Completion, Packet};
 use fairmpi_spc::Counter;
+use fairmpi_trace as trace;
 
 /// Which progress design is active (the Fig. 3a vs Fig. 3b axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +84,7 @@ impl ProgressEngine {
     /// Make one progress pass; returns the number of user-visible
     /// completions produced (the `count` of paper Algorithm 2).
     pub fn progress<H: ProgressHandler>(&self, assignment: Assignment, handler: &H) -> usize {
+        let _span = trace::span("progress.pass");
         self.pool.spc().inc(Counter::ProgressCalls);
         match self.mode {
             ProgressMode::Serial => self.progress_serial(handler),
@@ -115,6 +117,7 @@ impl ProgressEngine {
         if count == 0 {
             // Fallback sweep: guarantee eventual progress of every instance
             // (dedicated threads may be gone; completions may be stranded).
+            trace::instant("progress.fallback_sweep");
             self.pool.spc().inc(Counter::ProgressFallbackSweeps);
             for _ in 0..self.pool.len() {
                 let k = self.pool.round_robin_id();
@@ -158,6 +161,7 @@ impl ProgressEngine {
         if items.is_empty() {
             return 0;
         }
+        trace::counter("progress.drained", items.len() as u64);
         spc.add(Counter::CompletionsDrained, items.len() as u64);
         let mut count = 0;
         for item in items {

@@ -29,12 +29,7 @@ impl ProgressHandler for Recorder {
 
 fn setup(instances: usize, mode: ProgressMode) -> (Arc<Fabric>, Arc<CriPool>, ProgressEngine) {
     let fabric = Arc::new(Fabric::new(2, instances, FabricConfig::test_default()));
-    let pool = Arc::new(CriPool::new(
-        &fabric,
-        1,
-        instances,
-        Arc::new(SpcSet::new()),
-    ));
+    let pool = Arc::new(CriPool::new(&fabric, 1, instances, Arc::new(SpcSet::new())));
     let engine = ProgressEngine::new(Arc::clone(&pool), mode, 0);
     (fabric, pool, engine)
 }

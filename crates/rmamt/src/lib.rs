@@ -11,13 +11,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
 use fairmpi::{Assignment, DesignConfig, ProgressMode, SpcSnapshot, World};
 use fairmpi_vsim::{Machine, RmamtResult, RmamtSim, SimAssignment, SimProgress};
 
 /// Which one-sided operation the threads issue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RmaOpKind {
     /// `MPI_Put` (the paper's headline configuration).
     Put,
@@ -65,7 +63,7 @@ impl RmamtConfig {
 }
 
 /// Result of a native run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RmamtReport {
     /// Aggregate operation rate (ops per wall-clock second).
     pub msg_rate_per_s: f64,

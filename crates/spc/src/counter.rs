@@ -5,13 +5,11 @@
 //! cover the additional design axes this reproduction instruments (CRI
 //! assignment, try-lock failures, progress sweeps).
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of one software performance counter.
 ///
 /// The discriminant doubles as the index into an [`crate::SpcSet`], so the
 /// enum must stay dense (no explicit discriminants, no gaps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(usize)]
 pub enum Counter {
     // ---- message volume (OMPI: OMPI_SPC_SENT / RECEIVED) ----

@@ -1,13 +1,12 @@
 //! Immutable copies of a counter set, with arithmetic for phase deltas.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
 
 use crate::Counter;
 
 /// A point-in-time copy of every counter in an [`crate::SpcSet`].
-#[derive(Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct SpcSnapshot {
     values: Vec<u64>,
 }
@@ -88,7 +87,9 @@ impl SpcSnapshot {
 
     /// Iterate over `(counter, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
-        Counter::ALL.iter().map(move |&c| (c, self.values[c.index()]))
+        Counter::ALL
+            .iter()
+            .map(move |&c| (c, self.values[c.index()]))
     }
 }
 

@@ -1,0 +1,73 @@
+//! The clock abstraction: the same instrumentation runs on wall-clock time
+//! (native threads) and on virtual time (driven by the simulator).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Global virtual-time register, advanced by the simulator's event loop
+/// through [`crate::set_virtual_now`].
+pub(crate) static VIRTUAL_NOW: AtomicU64 = AtomicU64::new(0);
+
+/// A monotonic nanosecond source for event timestamps.
+pub trait Clock: Send + Sync {
+    /// Current time in nanoseconds. Must be monotonic per thread.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time, relative to the clock's creation.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Virtual time: reads the register the simulator advances via
+/// [`crate::set_virtual_now`]. Never advances on its own.
+#[derive(Debug, Default)]
+pub struct VirtualClock;
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        VIRTUAL_NOW.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_reads_the_register() {
+        VIRTUAL_NOW.store(1234, Ordering::Relaxed);
+        assert_eq!(VirtualClock.now_ns(), 1234);
+        VIRTUAL_NOW.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,231 @@
+//! The lock-contention report: the data behind the paper's "one big lock
+//! collapses" story, aggregated from lock events.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::trace_data::Trace;
+
+/// Number of log2 wait-time histogram buckets (bucket `i` covers waits in
+/// `[2^i, 2^(i+1))` ns; the last bucket absorbs everything longer).
+pub const WAIT_HIST_BUCKETS: usize = 24;
+
+/// Aggregated statistics for one lock.
+#[derive(Debug, Clone)]
+pub struct LockStats {
+    /// Lock name.
+    pub name: String,
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that had to wait (wait > 0).
+    pub contended: u64,
+    /// Failed non-blocking attempts.
+    pub try_fails: u64,
+    /// Total nanoseconds spent waiting.
+    pub total_wait_ns: u64,
+    /// Longest single wait.
+    pub max_wait_ns: u64,
+    /// Total nanoseconds the lock was held.
+    pub total_hold_ns: u64,
+    /// Longest single hold.
+    pub max_hold_ns: u64,
+    /// log2 histogram of per-acquisition wait times.
+    pub wait_hist: [u64; WAIT_HIST_BUCKETS],
+}
+
+impl LockStats {
+    fn new(name: String) -> Self {
+        Self {
+            name,
+            acquisitions: 0,
+            contended: 0,
+            try_fails: 0,
+            total_wait_ns: 0,
+            max_wait_ns: 0,
+            total_hold_ns: 0,
+            max_hold_ns: 0,
+            wait_hist: [0; WAIT_HIST_BUCKETS],
+        }
+    }
+
+    /// Mean wait per acquisition in nanoseconds.
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.total_wait_ns as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Fraction of acquisitions that waited.
+    pub fn contention_rate(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+fn hist_bucket(wait_ns: u64) -> usize {
+    if wait_ns == 0 {
+        0
+    } else {
+        (63 - wait_ns.leading_zeros() as usize).min(WAIT_HIST_BUCKETS - 1)
+    }
+}
+
+/// Per-lock contention statistics ranked most-contended first.
+#[derive(Debug, Clone, Default)]
+pub struct ContentionReport {
+    /// Locks sorted by total wait time, descending.
+    pub locks: Vec<LockStats>,
+}
+
+impl Trace {
+    /// Aggregate all lock events into a [`ContentionReport`].
+    pub fn contention_report(&self) -> ContentionReport {
+        let mut by_name: HashMap<u32, LockStats> = HashMap::new();
+        for track in &self.tracks {
+            for ev in &track.events {
+                let stats = match ev.kind {
+                    EventKind::LockAcquired | EventKind::LockReleased | EventKind::TryLockFail => {
+                        by_name
+                            .entry(ev.name.0)
+                            .or_insert_with(|| LockStats::new(self.name(ev.name).to_string()))
+                    }
+                    _ => continue,
+                };
+                match ev.kind {
+                    EventKind::LockAcquired => {
+                        stats.acquisitions += 1;
+                        if ev.arg > 0 {
+                            stats.contended += 1;
+                        }
+                        stats.total_wait_ns += ev.arg;
+                        stats.max_wait_ns = stats.max_wait_ns.max(ev.arg);
+                        stats.wait_hist[hist_bucket(ev.arg)] += 1;
+                    }
+                    EventKind::LockReleased => {
+                        stats.total_hold_ns += ev.arg;
+                        stats.max_hold_ns = stats.max_hold_ns.max(ev.arg);
+                    }
+                    EventKind::TryLockFail => stats.try_fails += 1,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let mut locks: Vec<LockStats> = by_name.into_values().collect();
+        locks.sort_by(|a, b| {
+            b.total_wait_ns
+                .cmp(&a.total_wait_ns)
+                .then(b.try_fails.cmp(&a.try_fails))
+                .then(a.name.cmp(&b.name))
+        });
+        ContentionReport { locks }
+    }
+}
+
+impl ContentionReport {
+    /// Render the top `n` locks as an aligned text table with a compact
+    /// wait histogram (`·▁▂▃▄▅▆▇█` per power-of-two decade).
+    pub fn render(&self, n: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>8} {:>8} {:>12} {:>10} {:>12} {:>7}  wait histogram (1ns→8ms, log2)",
+            "lock", "acq", "cont", "tryfail", "wait total", "wait mean", "hold total", "cont%"
+        );
+        for s in self.locks.iter().take(n) {
+            let spark: String = s
+                .wait_hist
+                .iter()
+                .map(|&c| {
+                    let glyphs = ['·', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+                    if c == 0 {
+                        glyphs[0]
+                    } else {
+                        let mag = (64 - c.leading_zeros() as usize).min(8);
+                        glyphs[mag.max(1)]
+                    }
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>8} {:>8} {:>12} {:>10} {:>12} {:>6.1}%  {}",
+                s.name,
+                s.acquisitions,
+                s.contended,
+                s.try_fails,
+                fmt_ns(s.total_wait_ns),
+                fmt_ns(s.mean_wait_ns() as u64),
+                fmt_ns(s.total_hold_ns),
+                100.0 * s.contention_rate(),
+                spark
+            );
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, NameId};
+    use crate::trace_data::TrackData;
+
+    fn lock_ev(kind: EventKind, name: u32, arg: u64) -> Event {
+        Event {
+            ts_ns: 0,
+            kind,
+            name: NameId(name),
+            arg,
+        }
+    }
+
+    #[test]
+    fn ranks_by_total_wait_and_aggregates() {
+        let trace = Trace {
+            names: vec!["cheap".into(), "hot".into()],
+            tracks: vec![TrackData {
+                name: "t".into(),
+                events: vec![
+                    lock_ev(EventKind::LockAcquired, 0, 10),
+                    lock_ev(EventKind::LockReleased, 0, 100),
+                    lock_ev(EventKind::LockAcquired, 1, 5_000),
+                    lock_ev(EventKind::LockAcquired, 1, 0),
+                    lock_ev(EventKind::LockReleased, 1, 900),
+                    lock_ev(EventKind::TryLockFail, 1, 0),
+                ],
+                dropped: 0,
+            }],
+        };
+        let report = trace.contention_report();
+        assert_eq!(report.locks.len(), 2);
+        assert_eq!(report.locks[0].name, "hot");
+        assert_eq!(report.locks[0].acquisitions, 2);
+        assert_eq!(report.locks[0].contended, 1);
+        assert_eq!(report.locks[0].try_fails, 1);
+        assert_eq!(report.locks[0].total_wait_ns, 5_000);
+        assert_eq!(report.locks[0].max_hold_ns, 900);
+        assert!((report.locks[0].contention_rate() - 0.5).abs() < 1e-9);
+        // 5000 ns falls in bucket floor(log2(5000)) = 12.
+        assert_eq!(report.locks[0].wait_hist[12], 1);
+        let table = report.render(10);
+        assert!(table.contains("hot"));
+        assert!(table.contains("cheap"));
+    }
+}

@@ -1,0 +1,59 @@
+//! The compact in-buffer event representation.
+
+/// Interned event/lock name. `NameId::INVALID` marks names interned while
+/// the recorder was disarmed; events carrying it are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameId(pub u32);
+
+impl NameId {
+    /// Sentinel for "interned while disarmed".
+    pub const INVALID: NameId = NameId(u32::MAX);
+}
+
+/// One event stream: a native thread or a simulated actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(pub u32);
+
+impl TrackId {
+    /// Sentinel for "registered while disarmed".
+    pub const INVALID: TrackId = TrackId(u32::MAX);
+}
+
+/// What an [`Event`] records. The meaning of [`Event::arg`] depends on the
+/// kind (durations for lock events and slices, the value for counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`arg` unused).
+    SpanBegin,
+    /// The innermost open span of the same name closed (`arg` unused).
+    SpanEnd,
+    /// A point event (`arg` unused).
+    Instant,
+    /// A sampled value (`arg` = value).
+    Counter,
+    /// A complete slice starting at `ts_ns` (`arg` = duration in ns).
+    Slice,
+    /// The track started waiting for lock `name` (`arg` unused).
+    LockWait,
+    /// The track acquired lock `name` (`arg` = wait time in ns; 0 when
+    /// uncontended).
+    LockAcquired,
+    /// The track released lock `name` (`arg` = hold time in ns).
+    LockReleased,
+    /// A non-blocking acquisition attempt on lock `name` failed
+    /// (`arg` unused).
+    TryLockFail,
+}
+
+/// One recorded event (24 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in clock nanoseconds (wall or virtual).
+    pub ts_ns: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Interned name (event label or lock name).
+    pub name: NameId,
+    /// Kind-dependent payload (duration, counter value).
+    pub arg: u64,
+}

@@ -1,0 +1,126 @@
+//! Hook stubs compiled when the `enabled` feature is off: every function
+//! is an empty `#[inline(always)]`, so instrumented crates carry zero
+//! tracing overhead — the optimizer erases the calls entirely.
+
+use crate::clock::Clock;
+use crate::event::{NameId, TrackId};
+use crate::trace_data::Trace;
+
+/// Always `false` without the `enabled` feature.
+#[inline(always)]
+pub fn is_armed() -> bool {
+    false
+}
+
+/// No-op.
+#[inline(always)]
+pub fn start(_clock: Box<dyn Clock>) {}
+
+/// No-op.
+#[inline(always)]
+pub fn start_with_capacity(_clock: Box<dyn Clock>, _ring_capacity: usize) {}
+
+/// Returns an empty [`Trace`].
+#[inline(always)]
+pub fn stop() -> Trace {
+    Trace::default()
+}
+
+/// No-op.
+#[inline(always)]
+pub fn set_virtual_now(_ns: u64) {}
+
+/// Always 0.
+#[inline(always)]
+pub fn now_ns() -> u64 {
+    0
+}
+
+/// Always [`NameId::INVALID`].
+#[inline(always)]
+pub fn intern(_name: &str) -> NameId {
+    NameId::INVALID
+}
+
+/// Always [`TrackId::INVALID`].
+#[inline(always)]
+pub fn register_track(_name: &str) -> TrackId {
+    TrackId::INVALID
+}
+
+/// No-op.
+#[inline(always)]
+pub fn set_current_track(_track: TrackId) {}
+
+/// Always [`TrackId::INVALID`].
+#[inline(always)]
+pub fn current_track() -> TrackId {
+    TrackId::INVALID
+}
+
+/// A zero-sized span guard.
+#[must_use = "the span ends when the guard drops"]
+pub struct SpanGuard;
+
+/// No-op; returns a zero-sized guard.
+#[inline(always)]
+pub fn span(_name: &str) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op.
+#[inline(always)]
+pub fn instant(_name: &str) {}
+
+/// No-op.
+#[inline(always)]
+pub fn counter(_name: &str, _value: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn slice_at(_track: TrackId, _name: NameId, _ts_ns: u64, _dur_ns: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn lock_wait_at(_track: TrackId, _lock: NameId, _ts_ns: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn lock_acquired_at(_track: TrackId, _lock: NameId, _ts_ns: u64, _wait_ns: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn lock_released_at(_track: TrackId, _lock: NameId, _ts_ns: u64, _hold_ns: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn try_lock_fail_at(_track: TrackId, _lock: NameId, _ts_ns: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn lock_acquired(_lock: NameId, _wait_ns: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn lock_released(_lock: NameId, _hold_ns: u64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn try_lock_fail(_lock: NameId) {}
+
+/// Zero-sized stand-in for the epoch-aware name cache.
+#[derive(Debug, Default)]
+pub struct NameCache;
+
+impl NameCache {
+    /// An empty cache.
+    pub const fn new() -> Self {
+        Self
+    }
+
+    /// Always `None` without the `enabled` feature.
+    #[inline(always)]
+    pub fn get(&self, _make_name: impl FnOnce() -> String) -> Option<NameId> {
+        None
+    }
+}

@@ -1,0 +1,550 @@
+//! The process-global recorder (compiled only with the `enabled` feature).
+//!
+//! Hot-path discipline: every public hook first checks one relaxed atomic
+//! (`ARMED`); disarmed hooks return before touching any lock. Armed hooks
+//! take exactly one uncontended mutex — the target track's ring — plus, for
+//! string-named events, a read-mostly interner lock.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex, RwLock};
+
+use crate::clock::{Clock, VIRTUAL_NOW};
+use crate::event::{Event, EventKind, NameId, TrackId};
+use crate::ring::Ring;
+use crate::trace_data::{Trace, TrackData};
+
+/// Default per-track ring capacity (events).
+const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Bumped on every `start`; invalidates thread-local track caches and
+/// [`NameCache`] entries from earlier recording sessions.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+struct TrackBuf {
+    name: String,
+    ring: Mutex<Ring>,
+}
+
+struct Registry {
+    names: Vec<String>,
+    name_ids: HashMap<String, u32>,
+    capacity: usize,
+    clock: Option<Box<dyn Clock>>,
+}
+
+static REGISTRY: LazyLock<Mutex<Registry>> = LazyLock::new(|| {
+    Mutex::new(Registry {
+        names: Vec::new(),
+        name_ids: HashMap::new(),
+        capacity: DEFAULT_RING_CAPACITY,
+        clock: None,
+    })
+});
+
+/// Track list, read on every event; only `register_track` writes.
+static TRACKS: LazyLock<RwLock<Vec<Arc<TrackBuf>>>> = LazyLock::new(|| RwLock::new(Vec::new()));
+
+thread_local! {
+    /// (epoch, track index) — the track this thread emits to by default.
+    static CURRENT: Cell<(u64, u32)> = const { Cell::new((0, u32::MAX)) };
+}
+
+/// Whether the recorder is collecting events.
+#[inline]
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arm the recorder with the default ring capacity, discarding any state
+/// from a previous session.
+pub fn start(clock: Box<dyn Clock>) {
+    start_with_capacity(clock, DEFAULT_RING_CAPACITY);
+}
+
+/// Arm the recorder with an explicit per-track ring capacity.
+pub fn start_with_capacity(clock: Box<dyn Clock>, ring_capacity: usize) {
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.names.clear();
+    reg.name_ids.clear();
+    reg.capacity = ring_capacity.max(1);
+    reg.clock = Some(clock);
+    TRACKS.write().unwrap().clear();
+    VIRTUAL_NOW.store(0, Ordering::Relaxed);
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarm the recorder and collect everything recorded since `start`.
+pub fn stop() -> Trace {
+    ARMED.store(false, Ordering::SeqCst);
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.clock = None;
+    let names = std::mem::take(&mut reg.names);
+    reg.name_ids.clear();
+    drop(reg);
+    let bufs = std::mem::take(&mut *TRACKS.write().unwrap());
+    let tracks = bufs
+        .into_iter()
+        .map(|buf| {
+            // The Arc is uniquely held once disarmed: emitters only hold it
+            // across one push, and no push starts after the SeqCst store.
+            // Lose the events rather than block if a raced emitter lingers.
+            match Arc::try_unwrap(buf) {
+                Ok(t) => {
+                    let ring = t.ring.into_inner().unwrap();
+                    let dropped = ring.dropped();
+                    TrackData {
+                        name: t.name,
+                        events: ring.into_vec(),
+                        dropped,
+                    }
+                }
+                Err(shared) => TrackData {
+                    name: shared.name.clone(),
+                    events: Vec::new(),
+                    dropped: 0,
+                },
+            }
+        })
+        .collect();
+    Trace { names, tracks }
+}
+
+/// Advance virtual time (called by the simulator's event loop).
+#[inline]
+pub fn set_virtual_now(ns: u64) {
+    if is_armed() {
+        VIRTUAL_NOW.store(ns, Ordering::Relaxed);
+    }
+}
+
+/// Current time per the armed clock (0 when disarmed).
+#[inline]
+pub fn now_ns() -> u64 {
+    if !is_armed() {
+        return 0;
+    }
+    REGISTRY
+        .lock()
+        .unwrap()
+        .clock
+        .as_ref()
+        .map(|c| c.now_ns())
+        .unwrap_or(0)
+}
+
+/// Intern a name. Returns [`NameId::INVALID`] while disarmed.
+pub fn intern(name: &str) -> NameId {
+    if !is_armed() {
+        return NameId::INVALID;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    if let Some(&id) = reg.name_ids.get(name) {
+        return NameId(id);
+    }
+    let id = reg.names.len() as u32;
+    reg.names.push(name.to_string());
+    reg.name_ids.insert(name.to_string(), id);
+    NameId(id)
+}
+
+/// Register a new event track. Returns [`TrackId::INVALID`] while disarmed.
+pub fn register_track(name: &str) -> TrackId {
+    if !is_armed() {
+        return TrackId::INVALID;
+    }
+    let capacity = REGISTRY.lock().unwrap().capacity;
+    let mut tracks = TRACKS.write().unwrap();
+    let id = tracks.len() as u32;
+    tracks.push(Arc::new(TrackBuf {
+        name: name.to_string(),
+        ring: Mutex::new(Ring::new(capacity)),
+    }));
+    TrackId(id)
+}
+
+/// Route this thread's subsequent implicit-track events to `track` (the
+/// simulator calls this before each actor step).
+#[inline]
+pub fn set_current_track(track: TrackId) {
+    CURRENT.with(|c| c.set((EPOCH.load(Ordering::Relaxed), track.0)));
+}
+
+/// The thread's current track, auto-registering one named after the OS
+/// thread on first use in a session.
+pub fn current_track() -> TrackId {
+    let epoch = EPOCH.load(Ordering::Relaxed);
+    let (e, t) = CURRENT.with(|c| c.get());
+    if e == epoch && t != u32::MAX {
+        return TrackId(t);
+    }
+    let name = std::thread::current()
+        .name()
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| format!("{:?}", std::thread::current().id()));
+    let track = register_track(&name);
+    if track != TrackId::INVALID {
+        CURRENT.with(|c| c.set((epoch, track.0)));
+    }
+    track
+}
+
+#[inline]
+fn emit(track: TrackId, ev: Event) {
+    if track == TrackId::INVALID || ev.name == NameId::INVALID {
+        return;
+    }
+    let tracks = TRACKS.read().unwrap();
+    let Some(buf) = tracks.get(track.0 as usize) else {
+        return;
+    };
+    buf.ring.lock().unwrap().push(ev);
+}
+
+/// A RAII span on the current track: begins at creation, ends at drop.
+#[must_use = "the span ends when the guard drops"]
+pub struct SpanGuard {
+    track: TrackId,
+    name: NameId,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.track != TrackId::INVALID && is_armed() {
+            emit(
+                self.track,
+                Event {
+                    ts_ns: now_ns(),
+                    kind: EventKind::SpanEnd,
+                    name: self.name,
+                    arg: 0,
+                },
+            );
+        }
+    }
+}
+
+/// Open a named span on the current track.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !is_armed() {
+        return SpanGuard {
+            track: TrackId::INVALID,
+            name: NameId::INVALID,
+        };
+    }
+    let track = current_track();
+    let name = intern(name);
+    emit(
+        track,
+        Event {
+            ts_ns: now_ns(),
+            kind: EventKind::SpanBegin,
+            name,
+            arg: 0,
+        },
+    );
+    SpanGuard { track, name }
+}
+
+/// A point event on the current track.
+#[inline]
+pub fn instant(name: &str) {
+    if !is_armed() {
+        return;
+    }
+    let track = current_track();
+    emit(
+        track,
+        Event {
+            ts_ns: now_ns(),
+            kind: EventKind::Instant,
+            name: intern(name),
+            arg: 0,
+        },
+    );
+}
+
+/// A sampled value on the current track.
+#[inline]
+pub fn counter(name: &str, value: u64) {
+    if !is_armed() {
+        return;
+    }
+    let track = current_track();
+    emit(
+        track,
+        Event {
+            ts_ns: now_ns(),
+            kind: EventKind::Counter,
+            name: intern(name),
+            arg: value,
+        },
+    );
+}
+
+/// A complete slice at an explicit (possibly future) timestamp — the
+/// simulator uses this for sleeps/yields whose end time it already knows.
+#[inline]
+pub fn slice_at(track: TrackId, name: NameId, ts_ns: u64, dur_ns: u64) {
+    if !is_armed() {
+        return;
+    }
+    emit(
+        track,
+        Event {
+            ts_ns,
+            kind: EventKind::Slice,
+            name,
+            arg: dur_ns,
+        },
+    );
+}
+
+/// Record that `track` started waiting on a lock at `ts_ns`.
+#[inline]
+pub fn lock_wait_at(track: TrackId, lock: NameId, ts_ns: u64) {
+    if !is_armed() {
+        return;
+    }
+    emit(
+        track,
+        Event {
+            ts_ns,
+            kind: EventKind::LockWait,
+            name: lock,
+            arg: 0,
+        },
+    );
+}
+
+/// Record a lock acquisition at an explicit timestamp with its wait time.
+#[inline]
+pub fn lock_acquired_at(track: TrackId, lock: NameId, ts_ns: u64, wait_ns: u64) {
+    if !is_armed() {
+        return;
+    }
+    emit(
+        track,
+        Event {
+            ts_ns,
+            kind: EventKind::LockAcquired,
+            name: lock,
+            arg: wait_ns,
+        },
+    );
+}
+
+/// Record a lock release at an explicit timestamp with its hold time.
+#[inline]
+pub fn lock_released_at(track: TrackId, lock: NameId, ts_ns: u64, hold_ns: u64) {
+    if !is_armed() {
+        return;
+    }
+    emit(
+        track,
+        Event {
+            ts_ns,
+            kind: EventKind::LockReleased,
+            name: lock,
+            arg: hold_ns,
+        },
+    );
+}
+
+/// Record a failed non-blocking acquisition at an explicit timestamp.
+#[inline]
+pub fn try_lock_fail_at(track: TrackId, lock: NameId, ts_ns: u64) {
+    if !is_armed() {
+        return;
+    }
+    emit(
+        track,
+        Event {
+            ts_ns,
+            kind: EventKind::TryLockFail,
+            name: lock,
+            arg: 0,
+        },
+    );
+}
+
+/// [`lock_acquired_at`] on the current track at the current time.
+#[inline]
+pub fn lock_acquired(lock: NameId, wait_ns: u64) {
+    if !is_armed() {
+        return;
+    }
+    lock_acquired_at(current_track(), lock, now_ns(), wait_ns);
+}
+
+/// [`lock_released_at`] on the current track at the current time.
+#[inline]
+pub fn lock_released(lock: NameId, hold_ns: u64) {
+    if !is_armed() {
+        return;
+    }
+    lock_released_at(current_track(), lock, now_ns(), hold_ns);
+}
+
+/// [`try_lock_fail_at`] on the current track at the current time.
+#[inline]
+pub fn try_lock_fail(lock: NameId) {
+    if !is_armed() {
+        return;
+    }
+    try_lock_fail_at(current_track(), lock, now_ns());
+}
+
+/// An epoch-aware cached [`NameId`] for long-lived objects (a CRI, a
+/// progress engine) that outlive recording sessions: re-interns when a new
+/// session starts, costs one relaxed load per event otherwise.
+#[derive(Debug, Default)]
+pub struct NameCache {
+    /// `epoch << 32 | name_id` (0 = never interned).
+    packed: AtomicU64,
+}
+
+impl NameCache {
+    /// An empty cache.
+    pub const fn new() -> Self {
+        Self {
+            packed: AtomicU64::new(0),
+        }
+    }
+
+    /// The interned id for this session, or `None` while disarmed.
+    /// `make_name` runs only on the first use per session.
+    pub fn get(&self, make_name: impl FnOnce() -> String) -> Option<NameId> {
+        if !is_armed() {
+            return None;
+        }
+        let epoch = EPOCH.load(Ordering::Relaxed);
+        let packed = self.packed.load(Ordering::Relaxed);
+        if packed >> 32 == epoch {
+            return Some(NameId(packed as u32));
+        }
+        let id = intern(&make_name());
+        if id == NameId::INVALID {
+            return None;
+        }
+        self.packed
+            .store(epoch << 32 | id.0 as u64, Ordering::Relaxed);
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{VirtualClock, WallClock};
+
+    /// The recorder is process-global; tests that arm it must not overlap.
+    static SESSION: Mutex<()> = Mutex::new(());
+
+    fn session() -> std::sync::MutexGuard<'static, ()> {
+        SESSION.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn concurrent_writers_wrap_one_ring() {
+        let _s = session();
+        start_with_capacity(Box::new(WallClock::new()), 8);
+        let track = register_track("shared");
+        let name = intern("ev");
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        slice_at(track, name, t * 1000 + i, 1);
+                    }
+                });
+            }
+        });
+        let trace = stop();
+        let shared = &trace.tracks[0];
+        assert_eq!(shared.name, "shared");
+        assert_eq!(shared.events.len(), 8, "ring keeps exactly its capacity");
+        assert_eq!(
+            shared.dropped,
+            400 - 8,
+            "everything else counted as dropped"
+        );
+        assert!(shared.events.iter().all(|e| e.name == name));
+    }
+
+    #[test]
+    fn wall_timestamps_are_monotonic_per_track() {
+        let _s = session();
+        start(Box::new(WallClock::new()));
+        for i in 0..50 {
+            let _span = span("work");
+            counter("i", i);
+            instant("tick");
+        }
+        let trace = stop();
+        let track = trace.tracks.iter().find(|t| !t.events.is_empty()).unwrap();
+        assert_eq!(
+            track.events.len(),
+            200,
+            "begin+counter+instant+end per loop"
+        );
+        for pair in track.events.windows(2) {
+            assert!(
+                pair[0].ts_ns <= pair[1].ts_ns,
+                "wall timestamps regressed: {} > {}",
+                pair[0].ts_ns,
+                pair[1].ts_ns
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_timestamps_track_the_simulated_clock() {
+        let _s = session();
+        start(Box::new(VirtualClock));
+        let track = register_track("actor");
+        set_current_track(track);
+        for now in [10u64, 10, 25, 40] {
+            set_virtual_now(now);
+            instant("step");
+        }
+        let trace = stop();
+        let actor = &trace.tracks[0];
+        let ts: Vec<u64> = actor.events.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![10, 10, 25, 40]);
+    }
+
+    #[test]
+    fn disarmed_hooks_hand_out_invalid_ids_and_record_nothing() {
+        let _s = session();
+        assert!(!is_armed());
+        assert_eq!(intern("x"), NameId::INVALID);
+        assert_eq!(register_track("x"), TrackId::INVALID);
+        instant("x");
+        counter("x", 1);
+        let _ = span("x");
+        let cache = NameCache::new();
+        assert_eq!(
+            cache.get(|| unreachable!("must not intern while disarmed")),
+            None
+        );
+    }
+
+    #[test]
+    fn name_cache_reinterns_across_sessions() {
+        let _s = session();
+        let cache = NameCache::new();
+        start(Box::new(WallClock::new()));
+        let first = cache.get(|| "lock".to_string()).unwrap();
+        assert_eq!(cache.get(|| unreachable!("cached")), Some(first));
+        stop();
+        start(Box::new(WallClock::new()));
+        let second = cache.get(|| "lock".to_string()).unwrap();
+        assert_eq!(cache.get(|| unreachable!("cached")), Some(second));
+        stop();
+    }
+}

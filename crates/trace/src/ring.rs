@@ -1,0 +1,96 @@
+//! The per-track bounded event buffer.
+
+use crate::event::Event;
+
+/// A fixed-capacity ring that keeps the **newest** events: once full, each
+/// push overwrites the oldest entry and bumps the drop counter. Bounding
+/// memory this way lets tracing stay armed across long runs without
+/// distorting the run it observes.
+#[derive(Debug)]
+pub struct Ring {
+    cap: usize,
+    buf: Vec<Event>,
+    /// Index of the oldest entry once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain into a Vec ordered oldest → newest.
+    pub fn into_vec(mut self) -> Vec<Event> {
+        self.buf.rotate_left(self.head);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, NameId};
+
+    fn ev(i: u64) -> Event {
+        Event {
+            ts_ns: i,
+            kind: EventKind::Instant,
+            name: NameId(0),
+            arg: i,
+        }
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 0);
+        let v = r.into_vec();
+        assert_eq!(
+            v.iter().map(|e| e.arg).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_in_order() {
+        let mut r = Ring::new(4);
+        for i in 0..11 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 7);
+        let v = r.into_vec();
+        assert_eq!(
+            v.iter().map(|e| e.arg).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! The collected result of one recording session.
+
+use crate::event::{Event, NameId};
+
+/// Everything one `stop()` call collected.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// Interned names; `Event::name` indexes into this.
+    pub names: Vec<String>,
+    /// One entry per registered track, in registration order.
+    pub tracks: Vec<TrackData>,
+}
+
+/// One track's events.
+#[derive(Debug, Default, Clone)]
+pub struct TrackData {
+    /// Track label (thread or actor name).
+    pub name: String,
+    /// Events oldest → newest. Per-track timestamps are monotonic: each
+    /// track has a single logical writer (a thread, or the simulator
+    /// acting for one actor).
+    pub events: Vec<Event>,
+    /// Events overwritten by ring wraparound.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Resolve an interned name ("?" if out of range).
+    pub fn name(&self, id: NameId) -> &str {
+        self.names
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Total events retained across all tracks.
+    pub fn total_events(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total events lost to ring wraparound.
+    pub fn total_dropped(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+}

@@ -9,10 +9,9 @@
 
 use fairmpi_fabric::FabricConfig;
 use fairmpi_matching::MatchWork;
-use serde::{Deserialize, Serialize};
 
 /// Virtual-time costs of runtime operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Send-path software overhead before touching the instance
     /// (argument checking, request setup, envelope build, seq draw).

@@ -1,5 +1,7 @@
 //! The discrete-event core: virtual clock, cores, locks, actors.
 
+use fairmpi_trace as trace;
+use fairmpi_trace::{NameId, TrackId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -80,10 +82,15 @@ pub trait WorldAccess {
 /// locks are grabbed by whoever gets there, not by queue order — which is
 /// also what lets sender threads overtake each other between drawing a
 /// sequence number and injecting).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct VLock {
     held_by: Option<ActorId>,
-    waiters: VecDeque<ActorId>,
+    /// Waiting actors with the virtual time each began waiting.
+    waiters: VecDeque<(ActorId, u64)>,
+    /// When the current holder acquired the lock (for hold-time tracing).
+    held_since: u64,
+    /// Interned trace name ([`NameId::INVALID`] when tracing is disarmed).
+    trace_name: NameId,
     /// Contention profile: hand-off cost per waiter (cache-line bouncing)
     /// and the waiter-count cap.
     bounce_ns: u64,
@@ -159,8 +166,24 @@ pub struct Sim<W: WorldAccess> {
     run_queue: VecDeque<(ActorId, Resume)>,
     live_actors: usize,
     rng: SmallRng,
+    /// One trace track per actor (INVALID when tracing is disarmed).
+    tracks: Vec<TrackId>,
+    /// Interned names for scheduler-level slices.
+    sleep_name: NameId,
+    yield_name: NameId,
+    /// Periodic observer fired as virtual time crosses interval boundaries.
+    tick_hook: Option<TickHook<W>>,
     /// Workload-shared state (matchers, rings, counters).
     pub world: W,
+}
+
+/// Periodic-observer callback: `(boundary_ns, &mut world)`.
+pub type TickFn<W> = Box<dyn FnMut(u64, &mut W)>;
+
+struct TickHook<W> {
+    interval_ns: u64,
+    next_ns: u64,
+    f: TickFn<W>,
 }
 
 impl<W: WorldAccess> Sim<W> {
@@ -177,8 +200,24 @@ impl<W: WorldAccess> Sim<W> {
             run_queue: VecDeque::new(),
             live_actors: 0,
             rng: SmallRng::seed_from_u64(params.seed),
+            tracks: Vec::new(),
+            sleep_name: trace::intern("sleep"),
+            yield_name: trace::intern("yield"),
+            tick_hook: None,
             world,
         }
+    }
+
+    /// Install a periodic observer: `f(boundary_ns, &mut world)` fires once
+    /// per `interval_ns` of virtual time as the clock crosses each boundary
+    /// (used for SPC time-series sampling).
+    pub fn set_tick_hook(&mut self, interval_ns: u64, f: TickFn<W>) {
+        let interval_ns = interval_ns.max(1);
+        self.tick_hook = Some(TickHook {
+            interval_ns,
+            next_ns: interval_ns,
+            f,
+        });
     }
 
     /// Current virtual time (ns).
@@ -216,21 +255,37 @@ impl<W: WorldAccess> Sim<W> {
         park_threshold: usize,
         park_ns: u64,
     ) -> LockId {
+        let id = self.locks.len();
         self.locks.push(VLock {
             held_by: None,
             waiters: VecDeque::new(),
+            held_since: 0,
+            trace_name: trace::intern(&format!("lock{id}")),
             bounce_ns,
             bounce_cap,
             park_threshold,
             park_ns,
         });
-        self.locks.len() - 1
+        id
+    }
+
+    /// Give a lock a human-readable name on the trace timeline (e.g.
+    /// `"instance[0].send"` instead of the default `"lock3"`).
+    pub fn name_lock(&mut self, lock: LockId, name: &str) {
+        self.locks[lock].trace_name = trace::intern(name);
     }
 
     /// Register an actor; it becomes runnable at time 0.
     pub fn add_actor(&mut self, actor: Box<dyn Actor<W>>) -> ActorId {
+        let name = format!("actor{}", self.actors.len());
+        self.add_actor_named(&name, actor)
+    }
+
+    /// Register an actor under a trace-track name (e.g. `"sender[3]"`).
+    pub fn add_actor_named(&mut self, name: &str, actor: Box<dyn Actor<W>>) -> ActorId {
         let id = self.actors.len();
         self.actors.push(Some(actor));
+        self.tracks.push(trace::register_track(name));
         self.live_actors += 1;
         self.run_queue.push_back((id, Resume::Ready));
         id
@@ -270,6 +325,14 @@ impl<W: WorldAccess> Sim<W> {
             };
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            trace::set_virtual_now(at);
+            if let Some(mut hook) = self.tick_hook.take() {
+                while at >= hook.next_ns {
+                    (hook.f)(hook.next_ns, &mut self.world);
+                    hook.next_ns += hook.interval_ns;
+                }
+                self.tick_hook = Some(hook);
+            }
             events += 1;
             assert!(
                 events <= max_events,
@@ -319,6 +382,9 @@ impl<W: WorldAccess> Sim<W> {
                  without advancing time",
                 self.now
             );
+            // Workload code running inside `step` (matching, progress)
+            // attributes its spans to this actor's track.
+            trace::set_current_track(self.tracks[id]);
             let mut actor = self.actors[id].take().expect("actor alive");
             let action = actor.step(resume, self.now, &mut self.world);
             self.actors[id] = Some(actor);
@@ -330,35 +396,48 @@ impl<W: WorldAccess> Sim<W> {
                     return;
                 }
                 Action::Lock(l) => {
-                    let lock = &mut self.locks[l];
-                    if lock.held_by.is_none() {
-                        lock.held_by = Some(id);
+                    let lname = self.locks[l].trace_name;
+                    if self.locks[l].held_by.is_none() {
                         // Uncontended acquisition spins briefly on the core.
-                        let cost = self.params.lock_base_ns;
-                        let at = self.now + self.scale(cost);
+                        let at = self.now + self.scale(self.params.lock_base_ns);
+                        let lock = &mut self.locks[l];
+                        lock.held_by = Some(id);
+                        lock.held_since = at;
+                        trace::lock_acquired_at(self.tracks[id], lname, at, 0);
                         self.push_event(at, Event::Resume(id, 1, 0, true));
                         return;
                     }
                     // Block: give up the core, join the wait queue.
-                    lock.waiters.push_back(id);
+                    self.locks[l].waiters.push_back((id, self.now));
+                    trace::lock_wait_at(self.tracks[id], lname, self.now);
                     self.free_cores += 1;
                     return;
                 }
                 Action::TryLock(l) => {
+                    let lname = self.locks[l].trace_name;
+                    let at = self.now + self.scale(self.params.try_lock_ns);
                     let ok = {
                         let lock = &mut self.locks[l];
                         if lock.held_by.is_none() {
                             lock.held_by = Some(id);
+                            lock.held_since = at;
                             true
                         } else {
                             false
                         }
                     };
-                    let at = self.now + self.scale(self.params.try_lock_ns);
+                    if ok {
+                        trace::lock_acquired_at(self.tracks[id], lname, at, 0);
+                    } else {
+                        trace::try_lock_fail_at(self.tracks[id], lname, at);
+                    }
                     self.push_event(at, Event::Resume(id, 2, ok as u8, true));
                     return;
                 }
                 Action::Unlock(l) => {
+                    let lname = self.locks[l].trace_name;
+                    let held_ns = self.now.saturating_sub(self.locks[l].held_since);
+                    trace::lock_released_at(self.tracks[id], lname, self.now, held_ns);
                     let next = {
                         let lock = &mut self.locks[l];
                         debug_assert_eq!(lock.held_by, Some(id), "unlock by non-holder");
@@ -372,7 +451,7 @@ impl<W: WorldAccess> Sim<W> {
                             lock.waiters.swap_remove_back(pick)
                         }
                     };
-                    if let Some(w) = next {
+                    if let Some((w, wait_since)) = next {
                         let waiters_now = self.locks[l].waiters.len();
                         self.locks[l].held_by = Some(w);
                         let lock = &self.locks[l];
@@ -385,6 +464,13 @@ impl<W: WorldAccess> Sim<W> {
                             cost += lock.park_ns;
                         }
                         let at = self.now + self.scale(cost);
+                        self.locks[l].held_since = at;
+                        trace::lock_acquired_at(
+                            self.tracks[w],
+                            lname,
+                            at,
+                            at.saturating_sub(wait_since),
+                        );
                         self.push_event(at, Event::Resume(w, 1, 0, false));
                     }
                     // Unlock itself is free; continue on the same core.
@@ -408,12 +494,14 @@ impl<W: WorldAccess> Sim<W> {
                     // the clock advance past polling loops.
                     self.free_cores += 1;
                     let at = self.now + self.scale(self.params.yield_penalty_ns);
+                    trace::slice_at(self.tracks[id], self.yield_name, self.now, at - self.now);
                     self.push_event(at, Event::Resume(id, 0, 0, false));
                     return;
                 }
                 Action::Sleep(ns) => {
                     self.free_cores += 1;
                     let at = self.now + self.scale(ns.max(self.params.yield_penalty_ns));
+                    trace::slice_at(self.tracks[id], self.sleep_name, self.now, at - self.now);
                     self.push_event(at, Event::Resume(id, 0, 0, false));
                     return;
                 }
@@ -585,7 +673,7 @@ mod tests {
 
     #[test]
     fn bounce_penalty_charges_contended_handoffs() {
-        let mut run_with = |bounce: u64| {
+        let run_with = |bounce: u64| {
             let mut sim = Sim::new(
                 SchedParams {
                     cores: 8,
@@ -896,7 +984,11 @@ mod tests {
             );
             let l = sim.add_lock();
             for id in 0..3 {
-                sim.add_actor(Box::new(Order { lock: l, id, state: 0 }));
+                sim.add_actor(Box::new(Order {
+                    lock: l,
+                    id,
+                    state: 0,
+                }));
             }
             sim.run(10_000);
             (0..3).map(|i| sim.world.counter(i)).collect()

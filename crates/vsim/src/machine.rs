@@ -2,12 +2,11 @@
 //! used in Fig. 7).
 
 use fairmpi_fabric::{FabricConfig, MachineKind};
-use serde::{Deserialize, Serialize};
 
 use crate::engine::SchedParams;
 
 /// Which simulated testbed to run on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MachinePreset {
     /// UTK "Alembert": dual 10-core Haswell (20 cores), InfiniBand EDR.
     Alembert,

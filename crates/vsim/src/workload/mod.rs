@@ -5,7 +5,7 @@ pub mod rmamt;
 
 /// CRI assignment strategy (paper Algorithm 1), mirrored for the simulated
 /// designs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimAssignment {
     /// A fresh instance per operation from a shared circular counter.
     RoundRobin,
@@ -14,7 +14,7 @@ pub enum SimAssignment {
 }
 
 /// Progress-engine design (paper Algorithm 2 vs the original serial one).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimProgress {
     /// One global progress gate; a single thread extracts at a time.
     Serial,

@@ -7,12 +7,14 @@
 //! only time, locks and cores are virtual. Out-of-sequence percentages and
 //! match times (Table II) therefore come out of the actual data structures.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 use std::sync::Arc;
 
+use fairmpi_trace::SpcSeries;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use fairmpi_fabric::{Envelope, Packet, ANY_TAG};
 use fairmpi_matching::{MatchEvent, Matcher, PostOutcome, PostedRecv, SendSequencer};
@@ -24,7 +26,7 @@ use crate::machine::Machine;
 use crate::workload::{SimAssignment, SimProgress};
 
 /// How matching state is laid out across pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimMatchLayout {
     /// All pairs share one communicator (one matcher, one matching lock) —
     /// the configuration of paper Figs. 3a/3b.
@@ -35,7 +37,7 @@ pub enum SimMatchLayout {
 }
 
 /// One design point of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimDesign {
     /// Number of CRIs per rank.
     pub instances: usize,
@@ -106,7 +108,7 @@ pub struct MultirateSim {
 }
 
 /// The outcome of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultirateResult {
     /// Aggregate message rate over the virtual makespan.
     pub msg_rate_per_s: f64,
@@ -258,73 +260,71 @@ impl Sender {
 
 impl Actor<MrWorld> for Sender {
     fn step(&mut self, _resume: Resume, _now: u64, world: &mut MrWorld) -> Action {
-        loop {
-            match self.state {
-                SState::Next => {
-                    if self.remaining == 0 {
-                        return Action::Done;
-                    }
-                    self.remaining -= 1;
-                    // Draw the sequence number *now*, before acquiring the
-                    // instance — the variable delay between the draw and
-                    // the injection is what lets threads overtake each
-                    // other and produce out-of-sequence arrivals.
-                    let seq = world.sequencers[world.matcher_index(self.comm)].next(0);
-                    self.cur_payload = pack(self.comm, self.pair as u16, seq);
-                    self.state = if self.design.big_lock {
-                        // The big lock already serializes everything; the
-                        // pool is not a separate bottleneck there.
-                        SState::Acquire
-                    } else {
-                        SState::PoolAcquire
-                    };
-                    return Action::Compute(self.cost.send_software_ns);
+        match self.state {
+            SState::Next => {
+                if self.remaining == 0 {
+                    return Action::Done;
                 }
-                SState::PoolAcquire => {
-                    self.state = SState::PoolCharge;
-                    return Action::Lock(self.wiring.send_pool(self.pair));
-                }
-                SState::PoolCharge => {
-                    self.state = SState::PoolRelease;
-                    return Action::Compute(self.cost.request_pool_ns);
-                }
-                SState::PoolRelease => {
-                    self.state = SState::Acquire;
-                    return Action::Unlock(self.wiring.send_pool(self.pair));
-                }
-                SState::Acquire => {
-                    self.cur_instance = if self.design.process_mode {
-                        self.pair % self.wiring.instances
-                    } else {
-                        match self.design.assignment {
-                            SimAssignment::Dedicated => self.pair % self.wiring.instances,
-                            SimAssignment::RoundRobin => {
-                                world.rr_send += 1;
-                                (world.rr_send - 1) as usize % self.wiring.instances
-                            }
+                self.remaining -= 1;
+                // Draw the sequence number *now*, before acquiring the
+                // instance — the variable delay between the draw and
+                // the injection is what lets threads overtake each
+                // other and produce out-of-sequence arrivals.
+                let seq = world.sequencers[world.matcher_index(self.comm)].next(0);
+                self.cur_payload = pack(self.comm, self.pair as u16, seq);
+                self.state = if self.design.big_lock {
+                    // The big lock already serializes everything; the
+                    // pool is not a separate bottleneck there.
+                    SState::Acquire
+                } else {
+                    SState::PoolAcquire
+                };
+                Action::Compute(self.cost.send_software_ns)
+            }
+            SState::PoolAcquire => {
+                self.state = SState::PoolCharge;
+                Action::Lock(self.wiring.send_pool(self.pair))
+            }
+            SState::PoolCharge => {
+                self.state = SState::PoolRelease;
+                Action::Compute(self.cost.request_pool_ns)
+            }
+            SState::PoolRelease => {
+                self.state = SState::Acquire;
+                Action::Unlock(self.wiring.send_pool(self.pair))
+            }
+            SState::Acquire => {
+                self.cur_instance = if self.design.process_mode {
+                    self.pair % self.wiring.instances
+                } else {
+                    match self.design.assignment {
+                        SimAssignment::Dedicated => self.pair % self.wiring.instances,
+                        SimAssignment::RoundRobin => {
+                            world.rr_send += 1;
+                            (world.rr_send - 1) as usize % self.wiring.instances
                         }
-                    };
-                    self.state = SState::Inject;
-                    return Action::Lock(self.lock_id());
+                    }
+                };
+                self.state = SState::Inject;
+                Action::Lock(self.lock_id())
+            }
+            SState::Inject => {
+                self.state = SState::Ship;
+                Action::Compute(self.cost.injection_time_ns(0, 28))
+            }
+            SState::Ship => {
+                let delay = self.wiring.wire_latency + world.jitter(self.wiring.jitter);
+                world.spc.inc(Counter::MessagesSent);
+                self.state = SState::Release;
+                Action::Post {
+                    mailbox: self.cur_instance,
+                    payload: self.cur_payload,
+                    delay_ns: delay,
                 }
-                SState::Inject => {
-                    self.state = SState::Ship;
-                    return Action::Compute(self.cost.injection_time_ns(0, 28));
-                }
-                SState::Ship => {
-                    let delay = self.wiring.wire_latency + world.jitter(self.wiring.jitter);
-                    world.spc.inc(Counter::MessagesSent);
-                    self.state = SState::Release;
-                    return Action::Post {
-                        mailbox: self.cur_instance,
-                        payload: self.cur_payload,
-                        delay_ns: delay,
-                    };
-                }
-                SState::Release => {
-                    self.state = SState::Next;
-                    return Action::Unlock(self.lock_id());
-                }
+            }
+            SState::Release => {
+                self.state = SState::Next;
+                Action::Unlock(self.lock_id())
             }
         }
     }
@@ -550,7 +550,11 @@ impl Actor<MrWorld> for Receiver {
                         token: self.id as u64,
                         comm: self.comm,
                         src: 0,
-                        tag: if self.design.any_tag { ANY_TAG } else { self.tag },
+                        tag: if self.design.any_tag {
+                            ANY_TAG
+                        } else {
+                            self.tag
+                        },
                     };
                     let idx = world.matcher_index(self.comm);
                     let (outcome, work) = world.matchers[idx].post_recv(recv);
@@ -558,15 +562,16 @@ impl Actor<MrWorld> for Receiver {
                         world.recv_done[self.id] += 1;
                     }
                     self.posted += 1;
-                    if self.posted % self.window as u64 == 0 {
+                    if self.posted.is_multiple_of(self.window as u64) {
                         self.wait_target = self.posted;
                     }
                     let cost = self.cost.match_time_ns(&work);
                     // Match time includes the wait for the matching lock,
                     // as in OMPI's SPC (the Table II number).
-                    world
-                        .spc
-                        .add(Counter::MatchTimeNanos, cost + (_now - self.match_wait_from));
+                    world.spc.add(
+                        Counter::MatchTimeNanos,
+                        cost + (_now - self.match_wait_from),
+                    );
                     self.state = RState::PostUnlock;
                     return Action::Compute(cost);
                 }
@@ -735,6 +740,18 @@ impl Actor<MrWorld> for Receiver {
 impl MultirateSim {
     /// Execute the experiment and report the virtual-time result.
     pub fn run(&self) -> MultirateResult {
+        self.run_observed(None).0
+    }
+
+    /// Like [`run`](Self::run), but optionally sample the SPC set every
+    /// `series_interval_ns` of virtual time for a rate time-series. Lock
+    /// and actor trace tracks carry workload names (`instance[0].send`,
+    /// `sender[3]`, ...) either way; the series costs nothing when tracing
+    /// or sampling is off.
+    pub fn run_observed(
+        &self,
+        series_interval_ns: Option<u64>,
+    ) -> (MultirateResult, Option<SpcSeries>) {
         assert!(self.pairs >= 1 && self.window >= 1 && self.iterations >= 1);
         let mut design = self.design;
         if design.process_mode {
@@ -797,6 +814,36 @@ impl MultirateSim {
         let send_pools: Arc<[LockId]> = (0..num_pools).map(|_| cas(&mut sim)).collect();
         let recv_pools: Arc<[LockId]> = (0..num_pools).map(|_| cas(&mut sim)).collect();
 
+        for (i, &l) in send_locks.iter().enumerate() {
+            sim.name_lock(l, &format!("instance[{i}].send"));
+        }
+        for (i, &l) in recv_locks.iter().enumerate() {
+            sim.name_lock(l, &format!("instance[{i}].recv"));
+        }
+        for (i, &l) in match_locks.iter().enumerate() {
+            sim.name_lock(l, &format!("match[{i}]"));
+        }
+        sim.name_lock(gate, "progress.gate");
+        sim.name_lock(big, "big_lock");
+        for (i, &l) in send_pools.iter().enumerate() {
+            sim.name_lock(l, &format!("pool.send[{i}]"));
+        }
+        for (i, &l) in recv_pools.iter().enumerate() {
+            sim.name_lock(l, &format!("pool.recv[{i}]"));
+        }
+
+        let series = series_interval_ns.map(|ns| Rc::new(RefCell::new(SpcSeries::new(ns))));
+        if let Some(series) = &series {
+            let series = Rc::clone(series);
+            let spc = Arc::clone(&spc);
+            sim.set_tick_hook(
+                series_interval_ns.unwrap(),
+                Box::new(move |boundary_ns, _world| {
+                    series.borrow_mut().sample(boundary_ns, &spc);
+                }),
+            );
+        }
+
         let wiring = Wiring {
             instances,
             wire_latency: cost.wire_latency_ns,
@@ -812,54 +859,67 @@ impl MultirateSim {
                 SimMatchLayout::SingleComm => 0u32,
                 SimMatchLayout::CommPerPair => pair as u32,
             };
-            sim.add_actor(Box::new(Sender {
-                pair,
-                comm,
-                remaining: per_pair,
-                state: SState::Next,
-                cost,
-                design,
-                wiring: wiring.clone(),
-                send_locks: Arc::clone(&send_locks),
-                cur_instance: 0,
-                cur_payload: 0,
-            }));
-            sim.add_actor(Box::new(Receiver {
-                id: pair,
-                comm,
-                tag: pair as i32,
-                window: self.window,
-                iterations: self.iterations,
-                cost,
-                design,
-                wiring: wiring.clone(),
-                recv_locks: Arc::clone(&recv_locks),
-                match_locks: Arc::clone(&match_locks),
-                gate,
-                state: RState::Idle,
-                posted: 0,
-                wait_target: 0,
-                sweep: Vec::new(),
-                sweep_pos: 0,
-                cur_instance: 0,
-                batch: Vec::with_capacity(DRAIN_BATCH),
-                batch_pos: 0,
-                got_this_pass: 0,
-                holding_gate: false,
-                match_wait_from: 0,
-                idle_streak: 0,
-            }));
+            sim.add_actor_named(
+                &format!("sender[{pair}]"),
+                Box::new(Sender {
+                    pair,
+                    comm,
+                    remaining: per_pair,
+                    state: SState::Next,
+                    cost,
+                    design,
+                    wiring: wiring.clone(),
+                    send_locks: Arc::clone(&send_locks),
+                    cur_instance: 0,
+                    cur_payload: 0,
+                }),
+            );
+            sim.add_actor_named(
+                &format!("recv[{pair}]"),
+                Box::new(Receiver {
+                    id: pair,
+                    comm,
+                    tag: pair as i32,
+                    window: self.window,
+                    iterations: self.iterations,
+                    cost,
+                    design,
+                    wiring: wiring.clone(),
+                    recv_locks: Arc::clone(&recv_locks),
+                    match_locks: Arc::clone(&match_locks),
+                    gate,
+                    state: RState::Idle,
+                    posted: 0,
+                    wait_target: 0,
+                    sweep: Vec::new(),
+                    sweep_pos: 0,
+                    cur_instance: 0,
+                    batch: Vec::with_capacity(DRAIN_BATCH),
+                    batch_pos: 0,
+                    got_this_pass: 0,
+                    holding_gate: false,
+                    match_wait_from: 0,
+                    idle_streak: 0,
+                }),
+            );
         }
 
         let total = per_pair * self.pairs as u64;
         let max_events = total.saturating_mul(400) + 20_000_000;
         let makespan = sim.run(max_events);
-        MultirateResult {
+        drop(sim); // release the tick hook's Rc clone
+        let result = MultirateResult {
             msg_rate_per_s: total as f64 / (makespan as f64 / 1e9),
             makespan_ns: makespan,
             total_messages: total,
             spc: spc.snapshot(),
-        }
+        };
+        let series = series.map(|s| {
+            Rc::try_unwrap(s)
+                .expect("tick hook dropped with the sim")
+                .into_inner()
+        });
+        (result, series)
     }
 }
 
@@ -930,8 +990,7 @@ mod tests {
             sim(8, d2).run()
         };
         assert!(
-            r.spc[Counter::OutOfSequenceMessages]
-                < shared.spc[Counter::OutOfSequenceMessages] / 4,
+            r.spc[Counter::OutOfSequenceMessages] < shared.spc[Counter::OutOfSequenceMessages] / 4,
             "per-pair comms: {} OOS, shared comm: {} OOS",
             r.spc[Counter::OutOfSequenceMessages],
             shared.spc[Counter::OutOfSequenceMessages]
@@ -999,11 +1058,7 @@ mod tests {
                                 cost: None,
                             }
                             .run();
-                            assert_eq!(
-                                r.spc[Counter::MessagesReceived],
-                                r.total_messages,
-                                "{d:?}"
-                            );
+                            assert_eq!(r.spc[Counter::MessagesReceived], r.total_messages, "{d:?}");
                         }
                     }
                 }

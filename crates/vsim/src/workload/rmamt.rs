@@ -10,8 +10,6 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use fairmpi_spc::{Counter, SpcSet, SpcSnapshot};
 
 use crate::cost::CostModel;
@@ -42,7 +40,7 @@ pub struct RmamtSim {
 }
 
 /// Result of one RMA-MT run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RmamtResult {
     /// Aggregate put rate over the virtual makespan, after the shared-link
     /// capacity cap.
@@ -348,10 +346,7 @@ impl RmamtSim {
         assert!(self.threads >= 1 && self.ops_per_thread >= 1 && self.instances >= 1);
         let cost = CostModel::for_fabric(&self.machine.fabric);
         let spc = Arc::new(SpcSet::new());
-        let instances = self
-            .machine
-            .fabric
-            .clamp_contexts(self.instances);
+        let instances = self.machine.fabric.clamp_contexts(self.instances);
 
         let world = RmaWorld {
             cqs: vec![VecDeque::new(); instances],

@@ -28,8 +28,12 @@ fn main() {
     };
     let msg = p1.recv(64, 0, 7, comm).unwrap();
     sender.join().unwrap();
-    println!("rank 1 got {:?} (src={}, tag={})",
-        String::from_utf8_lossy(&msg.data), msg.src, msg.tag);
+    println!(
+        "rank 1 got {:?} (src={}, tag={})",
+        String::from_utf8_lossy(&msg.data),
+        msg.src,
+        msg.tag
+    );
 
     // --- nonblocking + wildcards ---
     let rreq = p1.irecv(64, ANY_SOURCE, ANY_TAG, comm).unwrap();
@@ -41,7 +45,10 @@ fn main() {
         }
     };
     p0.wait(&sreq).unwrap();
-    println!("wildcard receive matched tag {} from rank {}", got.tag, got.src);
+    println!(
+        "wildcard receive matched tag {} from rank {}",
+        got.tag, got.src
+    );
 
     // --- probe before receive ---
     let t = {

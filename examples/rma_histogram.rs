@@ -63,11 +63,12 @@ fn main() {
     let mut total = 0u64;
     let mut min = u64::MAX;
     let mut max = 0u64;
-    println!("histogram (32 bins, {} samples):", THREADS * SAMPLES_PER_THREAD);
+    println!(
+        "histogram (32 bins, {} samples):",
+        THREADS * SAMPLES_PER_THREAD
+    );
     for bin in 0..BINS {
-        let v = u64::from_le_bytes(
-            server.read_local(bin * 8, 8).unwrap().try_into().unwrap(),
-        );
+        let v = u64::from_le_bytes(server.read_local(bin * 8, 8).unwrap().try_into().unwrap());
         total += v;
         min = min.min(v);
         max = max.max(v);

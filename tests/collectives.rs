@@ -26,9 +26,8 @@ fn scatter_distributes_per_rank_chunks() {
     let world = Arc::new(World::builder().ranks(4).build());
     let comm = world.comm_world();
     let results = spawn_all(&world, move |p, r| {
-        let chunks: Option<Vec<Vec<u8>>> = (r == 1).then(|| {
-            (0..4u8).map(|i| vec![i; (i as usize + 1) * 3]).collect()
-        });
+        let chunks: Option<Vec<Vec<u8>>> =
+            (r == 1).then(|| (0..4u8).map(|i| vec![i; (i as usize + 1) * 3]).collect());
         p.scatter(chunks.as_deref(), 1, comm).unwrap()
     });
     for (r, chunk) in results.iter().enumerate() {
@@ -73,11 +72,11 @@ fn reduce_elems_all_ops() {
     let world = Arc::new(World::builder().ranks(3).build());
     let comm = world.comm_world();
     for (op, expect) in [
-        (ReduceOp::Sum, vec![0 + 10 + 20, 7 + 17 + 27]),
+        (ReduceOp::Sum, vec![10 + 20, 7 + 17 + 27]),
         (ReduceOp::Max, vec![20, 27]),
         (ReduceOp::Min, vec![0, 7]),
-        (ReduceOp::BitOr, vec![0 | 10 | 20, 7 | 17 | 27]),
-        (ReduceOp::BitAnd, vec![0 & 10 & 20, 7 & 17 & 27]),
+        (ReduceOp::BitOr, vec![10 | 20, 7 | 17 | 27]),
+        (ReduceOp::BitAnd, vec![0, 7 & 17 & 27]), // rank 0 contributes 0
     ] {
         let results = spawn_all(&world, move |p, r| {
             let vals = [r as u64 * 10, r as u64 * 10 + 7];
@@ -96,7 +95,7 @@ fn repeated_collectives_on_one_communicator() {
     spawn_all(&world, move |p, r| {
         for round in 0..10u64 {
             let sum = p.allreduce_sum(round + r as u64, comm).unwrap();
-            assert_eq!(sum, 3 * round + 0 + 1 + 2);
+            assert_eq!(sum, (3 * round) + 1 + 2);
             p.barrier(comm).unwrap();
         }
     });
@@ -112,7 +111,9 @@ fn collectives_coexist_with_wildcard_user_traffic() {
     let t0 = std::thread::spawn(move || {
         let p = w0.proc(0);
         // Posted early; matched only by the real user message at the end.
-        let req = p.irecv(16, fairmpi::ANY_SOURCE, fairmpi::ANY_TAG, comm).unwrap();
+        let req = p
+            .irecv(16, fairmpi::ANY_SOURCE, fairmpi::ANY_TAG, comm)
+            .unwrap();
         p.barrier(comm).unwrap();
         let msg = p.wait(&req).unwrap();
         assert_eq!(msg.data, b"user");
@@ -127,10 +128,22 @@ fn collectives_coexist_with_wildcard_user_traffic() {
 #[test]
 fn typed_helpers_cover_all_widths() {
     // Pure encode/decode across every impl'd datatype.
-    assert_eq!(decode_slice::<i8>(&encode_slice(&[-1i8, 2])).unwrap(), [-1, 2]);
-    assert_eq!(decode_slice::<u16>(&encode_slice(&[u16::MAX])).unwrap(), [u16::MAX]);
-    assert_eq!(decode_slice::<i32>(&encode_slice(&[i32::MIN])).unwrap(), [i32::MIN]);
-    assert_eq!(decode_slice::<f32>(&encode_slice(&[1.5f32])).unwrap(), [1.5]);
+    assert_eq!(
+        decode_slice::<i8>(&encode_slice(&[-1i8, 2])).unwrap(),
+        [-1, 2]
+    );
+    assert_eq!(
+        decode_slice::<u16>(&encode_slice(&[u16::MAX])).unwrap(),
+        [u16::MAX]
+    );
+    assert_eq!(
+        decode_slice::<i32>(&encode_slice(&[i32::MIN])).unwrap(),
+        [i32::MIN]
+    );
+    assert_eq!(
+        decode_slice::<f32>(&encode_slice(&[1.5f32])).unwrap(),
+        [1.5]
+    );
     assert_eq!(
         decode_slice::<i64>(&encode_slice(&[i64::MIN, i64::MAX])).unwrap(),
         [i64::MIN, i64::MAX]

@@ -11,7 +11,12 @@ use fairmpi::{Counter, DesignConfig, MpiError, World};
 /// sweeps must still progress the orphan's instance.
 #[test]
 fn orphaned_dedicated_instance_is_progressed_by_survivors() {
-    let world = Arc::new(World::builder().ranks(2).design(DesignConfig::proposed(3)).build());
+    let world = Arc::new(
+        World::builder()
+            .ranks(2)
+            .design(DesignConfig::proposed(3))
+            .build(),
+    );
     let comm = world.comm_world();
 
     // A short-lived receiver thread binds instance 0 on rank 1, posts a
@@ -51,7 +56,12 @@ fn orphaned_dedicated_instance_is_progressed_by_survivors() {
 fn thread_churn_with_dedicated_assignment() {
     // Waves of short-lived threads: dedicated TLS bindings are dropped and
     // re-acquired; traffic must keep flowing.
-    let world = Arc::new(World::builder().ranks(2).design(DesignConfig::proposed(2)).build());
+    let world = Arc::new(
+        World::builder()
+            .ranks(2)
+            .design(DesignConfig::proposed(2))
+            .build(),
+    );
     let comm = world.comm_world();
     for wave in 0..5u32 {
         let mut handles = Vec::new();
@@ -122,7 +132,10 @@ fn truncation_does_not_poison_the_stream() {
     });
     assert!(matches!(
         p1.recv(16, 0, 0, comm).unwrap_err(),
-        MpiError::Truncated { message_len: 64, .. }
+        MpiError::Truncated {
+            message_len: 64,
+            ..
+        }
     ));
     // The next message on the same stream still arrives.
     let m = p1.recv(16, 0, 0, comm).unwrap();

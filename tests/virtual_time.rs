@@ -142,8 +142,14 @@ fn fig6_shape_holds_at_reduced_scale() {
     let ded16 = run(16, 32, SimAssignment::Dedicated);
     let rr16 = run(16, 32, SimAssignment::RoundRobin);
     let single16 = run(16, 1, SimAssignment::Dedicated);
-    assert!(ded16.msg_rate_per_s > 6.0 * ded1.msg_rate_per_s, "dedicated scales");
-    assert!(ded16.msg_rate_per_s > rr16.msg_rate_per_s, "dedicated beats RR");
+    assert!(
+        ded16.msg_rate_per_s > 6.0 * ded1.msg_rate_per_s,
+        "dedicated scales"
+    );
+    assert!(
+        ded16.msg_rate_per_s > rr16.msg_rate_per_s,
+        "dedicated beats RR"
+    );
     assert!(
         single16.msg_rate_per_s < 0.35 * ded16.msg_rate_per_s,
         "single instance collapses: {:.0} vs {:.0}",
@@ -194,7 +200,10 @@ fn virtual_runs_are_reproducible_across_invocations() {
         a.spc[Counter::OutOfSequenceMessages],
         b.spc[Counter::OutOfSequenceMessages]
     );
-    assert_eq!(a.spc[Counter::MatchTimeNanos], b.spc[Counter::MatchTimeNanos]);
+    assert_eq!(
+        a.spc[Counter::MatchTimeNanos],
+        b.spc[Counter::MatchTimeNanos]
+    );
 }
 
 #[test]

@@ -25,4 +25,21 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== doc =="
+cargo doc --no-deps --workspace --offline
+
+echo "== pvar smoke test =="
+# Tiny grid: the flagship observed run must produce a well-formed,
+# non-empty MPI_T pvar dump whose session reads match the SPC snapshot
+# (the binary asserts that), and self-comparing the bench report must
+# show zero regressions.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+bin=$PWD/target/release
+(cd "$smoke_dir" && FAIRMPI_ITERS=2 "$bin/table2" --pvars pvars.json > pvars.log)
+grep -q "MPI_T session reads equal the SpcSnapshot values for this run ... PASS" "$smoke_dir/pvars.log"
+"$bin/fairmpi-report" --check-pvars "$smoke_dir/pvars.json"
+(cd "$smoke_dir" && FAIRMPI_ITERS=2 "$bin/table2" > /dev/null)
+"$bin/fairmpi-report" "$smoke_dir/results/BENCH_table2.json" "$smoke_dir/results/BENCH_table2.json"
+
 echo "CI OK"

@@ -3,28 +3,41 @@
 //! table2 binaries in sequence (table2 runs at the FAIRMPI_ITERS default of
 //! this harness, not the paper-exact 1010, unless overridden).
 
+use fairmpi_bench::report::{rate_report, table2_report};
 use fairmpi_bench::{env_usize, figures, print_series, write_csv};
 
 fn main() {
-    for panel in ['a', 'b', 'c'] {
-        let s = figures::fig3(panel);
-        print_series(&format!("Fig 3{panel}"), &s);
-        write_csv(&format!("fig3{panel}"), &s).expect("csv");
-    }
-    for panel in ['a', 'b', 'c'] {
-        let s = figures::fig4(panel);
-        print_series(&format!("Fig 4{panel}"), &s);
-        write_csv(&format!("fig4{panel}"), &s).expect("csv");
+    for (fig, gen) in [
+        (
+            "fig3",
+            figures::fig3 as fn(char) -> Vec<fairmpi_bench::Series>,
+        ),
+        ("fig4", figures::fig4),
+    ] {
+        let mut groups = Vec::new();
+        for panel in ['a', 'b', 'c'] {
+            let s = gen(panel);
+            print_series(&format!("Fig {}{panel}", &fig[3..]), &s);
+            write_csv(&format!("{fig}{panel}"), &s).expect("csv");
+            groups.push((format!("{}{panel}: ", &fig[3..]), s));
+        }
+        rate_report(fig, &groups).write().expect("bench report");
     }
     let s = figures::fig5();
     print_series("Fig 5", &s);
     write_csv("fig5", &s).expect("csv");
+    rate_report("fig5", &[(String::new(), s.clone())])
+        .write()
+        .expect("bench report");
 
     figures::report_rma_figure("fig6", &figures::fig6());
     figures::report_rma_figure("fig7", &figures::fig7());
 
     let iterations = env_usize("FAIRMPI_ITERS", 200);
     let cells = figures::table2(iterations);
+    table2_report(iterations, &cells)
+        .write()
+        .expect("bench report");
     println!("\n== Table II ({} iterations) ==", iterations);
     for c in &cells {
         println!(

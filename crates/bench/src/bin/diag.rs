@@ -5,12 +5,13 @@
 //! [--trace out.json] [--spc-series out.csv]`
 
 use fairmpi_bench::observe::Observe;
+use fairmpi_bench::report::{BenchReport, Better, Metric};
+use fairmpi_spc::Counter;
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
 use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().collect();
-    let observe = Observe::from_args(&mut args);
+    let (observe, args) = Observe::from_env();
     let pairs: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(20);
     let instances: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(20);
     let progress = match args.get(3).map(|s| s.as_str()) {
@@ -68,4 +69,46 @@ fn main() {
             );
         }
     }
+
+    let mut report = BenchReport::new("diag");
+    report.push_meta("pairs", pairs as u64);
+    report.push_meta("instances", instances as u64);
+    report.push_meta("progress", format!("{progress:?}"));
+    report.push_meta("matching", format!("{matching:?}"));
+    let metric = |mean: f64, better: Better| Metric {
+        mean,
+        stddev: 0.0,
+        better,
+    };
+    report.push_point(
+        "diag",
+        pairs as f64,
+        vec![
+            (
+                "msg_rate_per_s".to_string(),
+                metric(r.msg_rate_per_s, Better::Higher),
+            ),
+            (
+                "out_of_sequence_messages".to_string(),
+                metric(r.spc[Counter::OutOfSequenceMessages] as f64, Better::Lower),
+            ),
+            (
+                "match_time_ns".to_string(),
+                metric(r.spc[Counter::MatchTimeNanos] as f64, Better::Lower),
+            ),
+            (
+                "instance_try_lock_failures".to_string(),
+                metric(
+                    r.spc[Counter::InstanceTryLockFailures] as f64,
+                    Better::Lower,
+                ),
+            ),
+            (
+                "progress_wasted_passes".to_string(),
+                metric(r.spc[Counter::ProgressWastedPasses] as f64, Better::Lower),
+            ),
+        ],
+    );
+    let path = report.write().expect("write bench report");
+    println!("wrote {}", path.display());
 }

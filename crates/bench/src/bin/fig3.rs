@@ -8,27 +8,28 @@
 //! run per panel (see `fairmpi_bench::observe`).
 
 use fairmpi_bench::observe::Observe;
+use fairmpi_bench::report::rate_report;
 use fairmpi_bench::{check, figures, print_series, write_csv};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().collect();
-    let observe = Observe::from_args(&mut args);
+    let (observe, args) = Observe::from_env();
     let panels: Vec<char> = match args.iter().position(|a| a == "--panel") {
         Some(i) => vec![args[i + 1].chars().next().expect("panel letter")],
         None => vec!['a', 'b', 'c'],
     };
 
-    if observe.active() {
-        // One output file, one observed run: default to panel a unless the
-        // user picked one.
-        let panel = panels[0];
-        if panels.len() > 1 {
-            println!("observability mode: tracing panel {panel} only (pass --panel to choose)");
-        }
-        observe.run(
-            &format!("fig3{panel} flagship (1 inst / round-robin)"),
-            &figures::fig3_flagship(panel),
+    // One output file, one observed run: default to panel a unless the
+    // user picked one.
+    if panels.len() > 1 && observe.active() {
+        println!(
+            "observability mode: tracing panel {} only (pass --panel to choose)",
+            panels[0]
         );
+    }
+    if observe.maybe_run(
+        &format!("fig3{} flagship (1 inst / round-robin)", panels[0]),
+        || figures::fig3_flagship(panels[0]),
+    ) {
         return;
     }
 
@@ -44,6 +45,15 @@ fn main() {
         println!("wrote {}", path.display());
         all.push((panel, series));
     }
+
+    let groups: Vec<(String, Vec<fairmpi_bench::Series>)> = all
+        .iter()
+        .map(|(panel, series)| (format!("3{panel}: "), series.clone()))
+        .collect();
+    let path = rate_report("fig3", &groups)
+        .write()
+        .expect("write bench report");
+    println!("wrote {}", path.display());
 
     // Qualitative checks from DESIGN.md §5 (only meaningful when all three
     // panels were produced).

@@ -3,6 +3,7 @@
 //!
 //! Usage: `cargo run --release -p fairmpi-bench --bin fig4 [-- --panel a|b|c]`.
 
+use fairmpi_bench::report::rate_report;
 use fairmpi_bench::{check, figures, print_series, write_csv};
 
 fn main() {
@@ -24,6 +25,15 @@ fn main() {
         println!("wrote {}", path.display());
         all.push((panel, series));
     }
+
+    let groups: Vec<(String, Vec<fairmpi_bench::Series>)> = all
+        .iter()
+        .map(|(panel, series)| (format!("4{panel}: "), series.clone()))
+        .collect();
+    let path = rate_report("fig4", &groups)
+        .write()
+        .expect("write bench report");
+    println!("wrote {}", path.display());
 
     if all.len() == 3 {
         let a = &all[0].1;

@@ -4,16 +4,15 @@
 //! log Y axis.
 
 use fairmpi_bench::observe::Observe;
+use fairmpi_bench::report::rate_report;
 use fairmpi_bench::{check, figures, print_series, write_csv};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().collect();
-    let observe = Observe::from_args(&mut args);
-    if observe.active() {
-        observe.run(
-            "fig5 flagship (OMPI Thread baseline)",
-            &figures::fig5_flagship(),
-        );
+    let (observe, _args) = Observe::from_env();
+    if observe.maybe_run(
+        "fig5 flagship (OMPI Thread baseline)",
+        figures::fig5_flagship,
+    ) {
         return;
     }
 
@@ -23,6 +22,10 @@ fn main() {
         &series,
     );
     let path = write_csv("fig5", &series).expect("write csv");
+    println!("wrote {}", path.display());
+    let path = rate_report("fig5", &[(String::new(), series.clone())])
+        .write()
+        .expect("write bench report");
     println!("wrote {}", path.display());
 
     let find = |label: &str| {

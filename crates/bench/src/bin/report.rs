@@ -1,0 +1,127 @@
+//! `fairmpi-report`: diff two `results/BENCH_*.json` files and flag
+//! regressions, or validate a `--pvars` dump.
+//!
+//! Usage:
+//!
+//! ```text
+//! fairmpi-report <baseline.json> <candidate.json> [--noise 0.05]
+//! fairmpi-report --check-pvars <pvars.json>
+//! ```
+//!
+//! A metric regresses when it moves in its own bad direction (each metric
+//! in the file declares `"better": "higher"|"lower"`) by more than the
+//! noise threshold and more than twice the recorded stddev. Exit status is
+//! non-zero on regressions, so CI can gate on it directly.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fairmpi_bench::report::{compare, validate_pvars, BenchReport, DEFAULT_NOISE};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fairmpi-report <baseline.json> <candidate.json> [--noise FRAC]\n\
+         \x20      fairmpi-report --check-pvars <pvars.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(i) = args.iter().position(|a| a == "--check-pvars") {
+        if i + 1 >= args.len() {
+            return usage();
+        }
+        let path = &args[i + 1];
+        return match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| validate_pvars(&text))
+        {
+            Ok(n) => {
+                println!("{path}: OK ({n} pvars, at least one non-zero)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let noise = match args.iter().position(|a| a == "--noise") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return usage();
+            }
+            let v: f64 = match args[i + 1].parse() {
+                Ok(v) if v >= 0.0 => v,
+                _ => return usage(),
+            };
+            args.remove(i + 1);
+            args.remove(i);
+            v
+        }
+        None => DEFAULT_NOISE,
+    };
+    let [baseline_path, candidate_path] = args.as_slice() else {
+        return usage();
+    };
+
+    let load = |p: &str| match BenchReport::load(Path::new(p)) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("error: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(candidate)) = (load(baseline_path), load(candidate_path)) else {
+        return ExitCode::FAILURE;
+    };
+    if baseline.bench != candidate.bench {
+        eprintln!(
+            "warning: comparing different benchmarks ({} vs {})",
+            baseline.bench, candidate.bench
+        );
+    }
+
+    let c = compare(&baseline, &candidate, noise);
+    println!(
+        "compared {} metrics ({} baseline points) at noise threshold {:.1}%",
+        c.compared,
+        baseline.points.len(),
+        noise * 100.0
+    );
+    for d in &c.improvements {
+        println!(
+            "  improved  {:<56} {:>12.1} -> {:>12.1} ({:+.1}%)",
+            d.what,
+            d.base,
+            d.cand,
+            -d.worse_frac * 100.0
+        );
+    }
+    for m in &c.missing {
+        println!("  missing   {m}");
+    }
+    for d in &c.regressions {
+        println!(
+            "  REGRESSED {:<56} {:>12.1} -> {:>12.1} ({:+.1}% worse)",
+            d.what,
+            d.base,
+            d.cand,
+            d.worse_frac * 100.0
+        );
+    }
+    if c.regressions.is_empty() && c.missing.is_empty() {
+        println!("zero regressions");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{} regression(s), {} missing point(s)",
+            c.regressions.len(),
+            c.missing.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -7,6 +7,7 @@
 //! total (the default here; pass a smaller value for a quick run).
 
 use fairmpi_bench::observe::Observe;
+use fairmpi_bench::report::table2_report;
 use fairmpi_bench::{check, env_usize, figures};
 
 /// Paper Table II reference values, for side-by-side printing.
@@ -23,14 +24,11 @@ const PAPER: [(&str, usize, u64, f64, f64); 9] = [
 ];
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().collect();
-    let observe = Observe::from_args(&mut args);
+    let (observe, _args) = Observe::from_env();
     let iterations = env_usize("FAIRMPI_ITERS", 1010);
-    if observe.active() {
-        observe.run(
-            "table2 flagship (1 inst / serial progress)",
-            &figures::table2_flagship(iterations),
-        );
+    if observe.maybe_run("table2 flagship (1 inst / serial progress)", || {
+        figures::table2_flagship(iterations)
+    }) {
         return;
     }
     println!(
@@ -76,6 +74,11 @@ fn main() {
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/table2.csv", csv).expect("write csv");
     println!("wrote results/table2.csv");
+
+    let path = table2_report(iterations, &cells)
+        .write()
+        .expect("write bench report");
+    println!("wrote {}", path.display());
 
     // Shape checks.
     let serial = &cells[0..3];

@@ -324,6 +324,15 @@ pub fn report_rma_figure(name: &str, panels: &[RmaPanel]) {
         println!("wrote {}", path.display());
     }
 
+    let groups: Vec<(String, Vec<Series>)> = panels
+        .iter()
+        .map(|p| (format!("{}B: ", p.msg_size), p.series.clone()))
+        .collect();
+    let path = crate::report::rate_report(name, &groups)
+        .write()
+        .expect("write bench report");
+    println!("wrote {}", path.display());
+
     // Qualitative checks on the smallest-size panel (contention-bound) and
     // the largest (bandwidth-bound).
     let small = &panels[0];

@@ -18,12 +18,17 @@
 //!   virtual microseconds for `--spc-series` (default 50).
 //!
 //! The fig3, fig5, table2 and diag binaries also accept
-//! `--trace <out.json>` (Perfetto trace + lock-contention report) and
-//! `--spc-series <out.csv>` (message-rate time-series); see
-//! [`observe`] for how observability mode changes what runs.
+//! `--trace <out.json>` (Perfetto trace + lock-contention report),
+//! `--spc-series <out.csv>` (message-rate time-series) and
+//! `--pvars <out.json>` (MPI_T-style performance-variable snapshot +
+//! Prometheus page); see [`observe`] for how observability mode changes
+//! what runs. Every binary additionally writes a versioned
+//! machine-readable result file `results/BENCH_<name>.json`; diff two of
+//! them with the `fairmpi-report` binary (see [`report`]).
 
 pub mod figures;
 pub mod observe;
+pub mod report;
 pub mod stats;
 
 use std::fs;

@@ -3,18 +3,46 @@
 //! `--trace <out.json>` records a Chrome-trace-event file (load it in
 //! Perfetto or `chrome://tracing`) and prints the lock-contention report;
 //! `--spc-series <out.csv>` samples the SPC counters on a fixed virtual-time
-//! interval and writes a per-interval rate time-series.
+//! interval and writes a per-interval rate time-series;
+//! `--pvars <out.json>` reads the run through the MPI_T-style
+//! performance-variable interface (`fairmpi-mpit`) and writes a JSON
+//! snapshot plus a Prometheus exposition page next to it (`<out>.prom`).
 //!
 //! A full figure runs hundreds of simulations; a trace of all of them would
-//! be unreadable and enormous. When either flag is present the binaries
+//! be unreadable and enormous. When any flag is present the binaries
 //! instead run **one flagship design point** of their figure (see the
 //! `*_flagship` constructors in [`crate::figures`]) under observation and
-//! skip the sweep.
+//! skip the sweep. The fig3/fig5/table2/diag binaries all share this exact
+//! logic — [`Observe::from_env`] is the single place the flags are parsed.
 
+use std::cell::RefCell;
 use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::Arc;
 
+use fairmpi_mpit::{json, prometheus, PvarRegistry, PvarSession, PvarValue};
+use fairmpi_spc::SpcSet;
 use fairmpi_trace as trace;
-use fairmpi_vsim::MultirateSim;
+use fairmpi_vsim::{MultirateSim, RunHooks};
+
+/// Rows of the `--pvars` scrape time-series: (virtual boundary ns, one
+/// value per [`SCRAPE_PVARS`] entry).
+type ScrapeRows = Rc<RefCell<Vec<(u64, Vec<u64>)>>>;
+
+/// The scrape callback handed to [`RunHooks`].
+type ScrapeFn = Box<dyn FnMut(u64, &SpcSet)>;
+
+/// The pvars sampled into the `--pvars` time-series at each scrape
+/// interval (a handful of rates tells the story; the full registry is
+/// dumped once at the end).
+const SCRAPE_PVARS: [&str; 6] = [
+    "messages_sent",
+    "messages_received",
+    "out_of_sequence_messages",
+    "match_time_ns",
+    "instance_try_lock_failures",
+    "progress_wasted_passes",
+];
 
 /// Parsed observability flags.
 #[derive(Debug, Default)]
@@ -23,11 +51,13 @@ pub struct Observe {
     pub trace_path: Option<PathBuf>,
     /// Destination for the SPC time-series CSV (`--spc-series`).
     pub spc_series_path: Option<PathBuf>,
+    /// Destination for the MPI_T pvar snapshot JSON (`--pvars`).
+    pub pvars_path: Option<PathBuf>,
 }
 
 impl Observe {
-    /// Strip `--trace <path>` / `--spc-series <path>` out of `args`,
-    /// leaving the binary's own arguments in place.
+    /// Strip `--trace <path>` / `--spc-series <path>` / `--pvars <path>`
+    /// out of `args`, leaving the binary's own arguments in place.
     pub fn from_args(args: &mut Vec<String>) -> Self {
         fn take(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
             let i = args.iter().position(|a| a == flag)?;
@@ -39,15 +69,35 @@ impl Observe {
         Self {
             trace_path: take(args, "--trace"),
             spc_series_path: take(args, "--spc-series"),
+            pvars_path: take(args, "--pvars"),
         }
+    }
+
+    /// Parse the process arguments: the observability flags land in the
+    /// returned `Observe`, everything else in the returned vector. The one
+    /// entry point all bench binaries share.
+    pub fn from_env() -> (Self, Vec<String>) {
+        let mut args: Vec<String> = std::env::args().collect();
+        let observe = Self::from_args(&mut args);
+        (observe, args)
     }
 
     /// Whether any observability output was requested.
     pub fn active(&self) -> bool {
-        self.trace_path.is_some() || self.spc_series_path.is_some()
+        self.trace_path.is_some() || self.spc_series_path.is_some() || self.pvars_path.is_some()
     }
 
-    /// SPC sampling interval in virtual nanoseconds
+    /// If any flag is set, run the binary's flagship design point under
+    /// observation and return `true` (the caller should skip its sweep).
+    pub fn maybe_run(&self, label: &str, sim: impl FnOnce() -> MultirateSim) -> bool {
+        if !self.active() {
+            return false;
+        }
+        self.run(label, &sim());
+        true
+    }
+
+    /// SPC sampling / pvar scrape interval in virtual nanoseconds
     /// (`FAIRMPI_SPC_INTERVAL_US`, default 50 µs).
     fn series_interval_ns(&self) -> u64 {
         crate::env_usize("FAIRMPI_SPC_INTERVAL_US", 50) as u64 * 1_000
@@ -58,11 +108,53 @@ impl Observe {
     /// top-10 lock-contention table. Returns the simulation result.
     pub fn run(&self, label: &str, sim: &MultirateSim) -> fairmpi_vsim::MultirateResult {
         trace::start_virtual();
-        let interval = self
-            .spc_series_path
-            .is_some()
-            .then(|| self.series_interval_ns());
-        let (result, series) = sim.run_observed(interval);
+        let interval = self.series_interval_ns();
+
+        // The pvar path: one SpcSet shared between the simulation and the
+        // MPI_T registry, so every value a tool reads through a session is
+        // the live cell the run updates — the acceptance criterion is that
+        // session reads equal the SpcSnapshot numbers exactly.
+        let spc = Arc::new(SpcSet::new());
+        let registry = Arc::new(PvarRegistry::new(Arc::clone(&spc)));
+        let mut session = PvarSession::new(&registry);
+        let tracked: Vec<_> = ["out_of_sequence_messages", "match_time_ns"]
+            .iter()
+            .map(|name| {
+                let idx = registry.index_of(name).expect("registered pvar");
+                let h = session.handle_alloc(idx).expect("valid index");
+                session.start(h).expect("counter pvars support start");
+                (*name, h)
+            })
+            .collect();
+
+        // Interval scraping through the registry (MPI_T-style periodic
+        // reads), collected for the JSON time-series.
+        let scraped: ScrapeRows = Rc::new(RefCell::new(Vec::new()));
+        let scrape = self.pvars_path.is_some().then(|| {
+            let rows = Rc::clone(&scraped);
+            let registry = Arc::clone(&registry);
+            let indices: Vec<usize> = SCRAPE_PVARS
+                .iter()
+                .map(|name| registry.index_of(name).expect("registered pvar"))
+                .collect();
+            let f: ScrapeFn = Box::new(move |boundary_ns, _spc| {
+                let values = indices
+                    .iter()
+                    .map(|&i| match registry.read_raw(i).expect("valid index") {
+                        PvarValue::Scalar(v) => v,
+                        PvarValue::Histogram { count, .. } => count,
+                    })
+                    .collect();
+                rows.borrow_mut().push((boundary_ns, values));
+            });
+            (interval, f)
+        });
+
+        let (result, series) = sim.run_hooked(RunHooks {
+            spc: Some(Arc::clone(&spc)),
+            series_interval_ns: self.spc_series_path.is_some().then_some(interval),
+            scrape,
+        });
         let t = trace::stop();
 
         println!("\n== observed run: {label} ==");
@@ -92,8 +184,88 @@ impl Observe {
                 "wrote {} ({} samples @ {} ns)",
                 path.display(),
                 series.len(),
-                self.series_interval_ns()
+                interval
             );
+        }
+        if let Some(path) = &self.pvars_path {
+            // The MPI_T sessions were opened on an untouched set, so their
+            // reads must equal the snapshot counters for the same run.
+            let mut session_reads = Vec::new();
+            for (name, h) in &tracked {
+                session.stop(*h).expect("counter pvars support stop");
+                let read = session
+                    .read(*h)
+                    .expect("valid handle")
+                    .as_scalar()
+                    .expect("scalar class");
+                let counter = fairmpi_spc::Counter::ALL
+                    .iter()
+                    .copied()
+                    .find(|c| c.name() == *name)
+                    .expect("pvar names mirror counter names");
+                assert_eq!(
+                    read, result.spc[counter],
+                    "pvar session read of {name} diverged from the SPC snapshot"
+                );
+                session_reads.push((name.to_string(), json::Value::from(read)));
+            }
+            crate::check(
+                "MPI_T session reads equal the SpcSnapshot values for this run",
+                true,
+            );
+
+            let series_rows = scraped
+                .borrow()
+                .iter()
+                .map(|(t_ns, values)| {
+                    let mut fields = vec![("t_ns".to_string(), json::Value::from(*t_ns))];
+                    fields.extend(
+                        SCRAPE_PVARS
+                            .iter()
+                            .zip(values.iter())
+                            .map(|(name, v)| (name.to_string(), json::Value::from(*v))),
+                    );
+                    json::Value::Obj(fields)
+                })
+                .collect();
+            let doc = json::Value::Obj(vec![
+                ("schema".to_string(), json::Value::from("fairmpi.pvars")),
+                ("version".to_string(), json::Value::from(1u64)),
+                ("label".to_string(), json::Value::from(label)),
+                ("interval_ns".to_string(), json::Value::from(interval)),
+                (
+                    "result".to_string(),
+                    json::Value::Obj(vec![
+                        (
+                            "msg_rate_per_s".to_string(),
+                            json::Value::Num(result.msg_rate_per_s),
+                        ),
+                        (
+                            "makespan_ns".to_string(),
+                            json::Value::from(result.makespan_ns),
+                        ),
+                        (
+                            "total_messages".to_string(),
+                            json::Value::from(result.total_messages),
+                        ),
+                    ]),
+                ),
+                ("session_reads".to_string(), json::Value::Obj(session_reads)),
+                ("pvars".to_string(), json::pvars_value(&registry)),
+                ("series".to_string(), json::Value::Arr(series_rows)),
+            ]);
+            std::fs::write(path, doc.render()).expect("write pvars json");
+            println!(
+                "wrote {} ({} pvars, {} series samples)",
+                path.display(),
+                registry.num_pvars(),
+                scraped.borrow().len()
+            );
+
+            let prom_path = path.with_extension("prom");
+            std::fs::write(&prom_path, prometheus::render(&registry))
+                .expect("write prometheus page");
+            println!("wrote {} (Prometheus text exposition)", prom_path.display());
         }
 
         print!("{}", t.contention_report().render(10));

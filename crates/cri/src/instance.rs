@@ -6,7 +6,7 @@ use std::sync::Arc;
 use fairmpi_fabric::{
     busy_wait_ns, Completion, CompletionKind, DrainGuard, Fabric, NetworkContext, Packet,
 };
-use fairmpi_spc::{Counter, SpcSet};
+use fairmpi_spc::{Counter, SpcSet, Watermark};
 use fairmpi_trace as trace;
 
 /// One communication resources instance: a network context (with its rx
@@ -153,6 +153,10 @@ impl<'a> CriGuard<'a> {
                 .max(cfg.serialization_time_ns(packet.payload.len())),
         );
         self.cri.context.op_started();
+        spc.record_level(
+            Watermark::InstancePendingOps,
+            self.cri.context.pending_ops(),
+        );
         fabric.deliver(packet, self.cri.index);
         spc.inc(Counter::MessagesSent);
         spc.add(Counter::BytesSent, wire_len as u64);

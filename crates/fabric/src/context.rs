@@ -1,6 +1,7 @@
 //! Network contexts: the resource the paper replicates into CRIs.
 
 use crossbeam::queue::SegQueue;
+use fairmpi_spc::WatermarkCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::{Packet, Rank};
@@ -46,6 +47,13 @@ pub struct NetworkContext {
     cq: SegQueue<Completion>,
     /// Number of operations injected but not yet completed.
     pending_ops: AtomicU64,
+    /// Extremes of `pending_ops`, sampled at each injection — how deep this
+    /// instance's in-flight window gets (the `fairmpi-mpit` per-instance
+    /// injection/completion watermark).
+    pending_watermark: WatermarkCell,
+    /// Extremes of the rx-ring depth, sampled at each wire delivery — how
+    /// far the progress engine lags injection on this instance.
+    rx_watermark: WatermarkCell,
     /// Debug-only guard flagging a drain in progress.
     draining: AtomicBool,
 }
@@ -58,6 +66,8 @@ impl NetworkContext {
             rx: SegQueue::new(),
             cq: SegQueue::new(),
             pending_ops: AtomicU64::new(0),
+            pending_watermark: WatermarkCell::new(),
+            rx_watermark: WatermarkCell::new(),
             draining: AtomicBool::new(false),
         }
     }
@@ -76,6 +86,7 @@ impl NetworkContext {
     /// safe from any thread).
     pub fn post_rx(&self, packet: Packet) {
         self.rx.push(packet);
+        self.rx_watermark.record(self.rx.len() as u64);
     }
 
     /// Deposit a local completion event.
@@ -86,7 +97,8 @@ impl NetworkContext {
 
     /// Record that an operation was injected and will complete later.
     pub fn op_started(&self) {
-        self.pending_ops.fetch_add(1, Ordering::Relaxed);
+        let now = self.pending_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        self.pending_watermark.record(now);
     }
 
     /// Record that an injected operation completed.
@@ -98,6 +110,17 @@ impl NetworkContext {
     /// Operations injected on this context that have not completed yet.
     pub fn pending_ops(&self) -> u64 {
         self.pending_ops.load(Ordering::Relaxed)
+    }
+
+    /// High/low extremes of the in-flight operation count, sampled at each
+    /// injection.
+    pub fn pending_watermark(&self) -> &WatermarkCell {
+        &self.pending_watermark
+    }
+
+    /// High/low extremes of the rx-ring depth, sampled at each delivery.
+    pub fn rx_watermark(&self) -> &WatermarkCell {
+        &self.rx_watermark
     }
 
     /// Whether any packet or completion is waiting (cheap peek for progress
@@ -205,6 +228,22 @@ mod tests {
         assert_eq!(ctx.pending_ops(), 1);
         ctx.op_finished();
         assert_eq!(ctx.pending_ops(), 0);
+    }
+
+    #[test]
+    fn per_instance_watermarks_track_depths() {
+        let ctx = NetworkContext::new(0, 0);
+        ctx.post_rx(packet(0));
+        ctx.post_rx(packet(1));
+        assert_eq!(ctx.rx_watermark().high(), 2);
+        assert_eq!(ctx.rx_watermark().low(), 1);
+        ctx.op_started();
+        ctx.op_started();
+        ctx.op_finished();
+        ctx.op_started();
+        // Sampled at injections only: 1, 2, then back up to 2.
+        assert_eq!(ctx.pending_watermark().high(), 2);
+        assert_eq!(ctx.pending_watermark().low(), 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use fairmpi_fabric::{CommId, Envelope, Packet, Rank, SeqNo, Tag};
-use fairmpi_spc::{Counter, SpcSet};
+use fairmpi_spc::{Counter, Histogram, SpcSet, Watermark};
 use fairmpi_trace as trace;
 
 use crate::{MatchEvent, MatchWork, PostOutcome, PostedRecv};
@@ -93,6 +93,8 @@ impl Matcher {
                     None => break,
                 }
             }
+            self.spc
+                .record_hist(Histogram::OosReplayChain, work.oos_drained as u64);
             if work.oos_drained > 0 {
                 trace::counter("match.oos_flush", work.oos_drained as u64);
             }
@@ -104,6 +106,8 @@ impl Matcher {
             let buffered: usize = self.sources.values().map(|s| s.out_of_sequence.len()).sum();
             self.spc
                 .record_max(Counter::MaxOutOfSequenceBuffered, buffered as u64);
+            self.spc
+                .record_level(Watermark::OutOfSequenceBuffered, buffered as u64);
         } else {
             // A sequence number below `expected` means the fabric delivered
             // a duplicate — the wire never does that, so this is a bug.
@@ -123,12 +127,16 @@ impl Matcher {
         trace::counter("match.search_len", inspected as u64);
         self.spc
             .add(Counter::MatchQueueTraversals, inspected as u64);
+        self.spc
+            .record_hist(Histogram::MatchDeliverAttempts, inspected as u64);
         match hit {
             Some(pos) => {
                 let recv = self.prq.remove(pos).expect("position valid");
                 work.matches += 1;
                 self.spc.inc(Counter::ExpectedMessages);
                 self.spc.inc(Counter::MessagesReceived);
+                self.spc
+                    .record_level(Watermark::PostedRecvQueueDepth, self.prq.len() as u64);
                 out.push(MatchEvent {
                     token: recv.token,
                     packet,
@@ -140,6 +148,8 @@ impl Matcher {
                 self.spc.inc(Counter::UnexpectedMessages);
                 self.spc
                     .record_max(Counter::MaxUnexpectedQueueLen, self.umq.len() as u64);
+                self.spc
+                    .record_level(Watermark::UnexpectedQueueDepth, self.umq.len() as u64);
             }
         }
     }
@@ -158,17 +168,23 @@ impl Matcher {
         trace::counter("match.search_len", inspected as u64);
         self.spc
             .add(Counter::MatchQueueTraversals, inspected as u64);
+        self.spc
+            .record_hist(Histogram::MatchPostAttempts, inspected as u64);
         match hit {
             Some(pos) => {
                 let packet = self.umq.remove(pos).expect("position valid");
                 work.matches += 1;
                 self.spc.inc(Counter::MessagesReceived);
+                self.spc
+                    .record_level(Watermark::UnexpectedQueueDepth, self.umq.len() as u64);
                 (PostOutcome::Matched(packet), work)
             }
             None => {
                 self.prq.push_back(recv);
                 self.spc
                     .record_max(Counter::MaxPostedRecvQueueLen, self.prq.len() as u64);
+                self.spc
+                    .record_level(Watermark::PostedRecvQueueDepth, self.prq.len() as u64);
                 (PostOutcome::Posted, work)
             }
         }

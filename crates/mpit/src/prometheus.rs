@@ -1,0 +1,115 @@
+//! Hand-rolled Prometheus text exposition (format version 0.0.4).
+//!
+//! The build is offline, so instead of a client library this module writes
+//! the exposition format directly: `# HELP`/`# TYPE` headers, one sample
+//! line per scalar, and the cumulative `_bucket{le="..."}`/`_sum`/`_count`
+//! triplet for histograms. [`parse`] reads the same subset back, which is
+//! how the tests prove the output is well-formed.
+
+use fairmpi_spc::bucket_upper_bound;
+
+use crate::pvar::{PvarClass, PvarValue};
+use crate::registry::PvarRegistry;
+
+/// Prefix applied to every exported metric name.
+pub const METRIC_PREFIX: &str = "fairmpi_";
+
+fn prom_type(class: PvarClass) -> &'static str {
+    match class {
+        // Timers accumulate like counters; watermarks can move only via
+        // reset, so Prometheus-wise they are gauges.
+        PvarClass::Counter | PvarClass::Timer => "counter",
+        PvarClass::HighWatermark | PvarClass::LowWatermark => "gauge",
+        PvarClass::Histogram => "histogram",
+    }
+}
+
+/// Render every variable's current global value as one exposition page.
+pub fn render(registry: &PvarRegistry) -> String {
+    let mut out = String::new();
+    for index in 0..registry.num_pvars() {
+        let info = registry.info(index).expect("index in range");
+        let value = registry.read_raw(index).expect("index in range");
+        let name = format!("{METRIC_PREFIX}{}", info.name);
+        out.push_str(&format!("# HELP {name} {}\n", info.desc));
+        out.push_str(&format!("# TYPE {name} {}\n", prom_type(info.class)));
+        match value {
+            PvarValue::Scalar(v) => {
+                out.push_str(&format!("{name} {v}\n"));
+            }
+            PvarValue::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                let mut cumulative = 0u64;
+                for (b, n) in buckets.iter().enumerate() {
+                    cumulative = cumulative.saturating_add(*n);
+                    match bucket_upper_bound(b) {
+                        Some(ub) => {
+                            out.push_str(&format!("{name}_bucket{{le=\"{ub}\"}} {cumulative}\n"))
+                        }
+                        None => {
+                            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"))
+                        }
+                    }
+                }
+                out.push_str(&format!("{name}_sum {sum}\n"));
+                out.push_str(&format!("{name}_count {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// One sample line parsed back from an exposition page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full metric name, including any `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// The `le` label for histogram bucket lines.
+    pub le: Option<String>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse the subset of the exposition format [`render`] produces.
+///
+/// Returns `Err` with a line-numbered message on any malformed line, so
+/// tests (and the CI smoke check) can assert the page round-trips.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator", lineno + 1))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value_part:?}", lineno + 1))?;
+        let (name, le) = match name_part.split_once('{') {
+            None => (name_part.to_string(), None),
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|rest| rest.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {}: expected le label", lineno + 1))?;
+                (name.to_string(), Some(le.to_string()))
+            }
+        };
+        if !name.starts_with(METRIC_PREFIX) {
+            return Err(format!(
+                "line {}: name lacks {METRIC_PREFIX} prefix",
+                lineno + 1
+            ));
+        }
+        samples.push(Sample { name, le, value });
+    }
+    Ok(samples)
+}

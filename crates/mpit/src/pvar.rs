@@ -1,0 +1,141 @@
+//! Performance-variable metadata: classes, bindings, info records, values.
+
+use std::fmt;
+
+use fairmpi_spc::HISTOGRAM_BUCKETS;
+
+/// Performance-variable class (MPI-3 §14.3.7, `MPI_T_PVAR_CLASS_*`).
+///
+/// Only the classes this runtime actually exports are modeled; `HISTOGRAM`
+/// stands in for MPI_T's `GENERIC` class the way tools commonly use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PvarClass {
+    /// Monotonically increasing event count (`MPI_T_PVAR_CLASS_COUNTER`).
+    Counter,
+    /// Monotonically increasing time accumulator
+    /// (`MPI_T_PVAR_CLASS_TIMER`), in nanoseconds.
+    Timer,
+    /// Highest value a level reached
+    /// (`MPI_T_PVAR_CLASS_HIGHWATERMARK`).
+    HighWatermark,
+    /// Lowest value a level reached (`MPI_T_PVAR_CLASS_LOWWATERMARK`).
+    LowWatermark,
+    /// Log2-bucket distribution (`MPI_T_PVAR_CLASS_GENERIC` as used for
+    /// histogram variables).
+    Histogram,
+}
+
+impl PvarClass {
+    /// Stable machine-readable name (used in the JSON exporter).
+    pub fn name(self) -> &'static str {
+        match self {
+            PvarClass::Counter => "counter",
+            PvarClass::Timer => "timer",
+            PvarClass::HighWatermark => "highwatermark",
+            PvarClass::LowWatermark => "lowwatermark",
+            PvarClass::Histogram => "histogram",
+        }
+    }
+}
+
+/// What object a variable is bound to (`MPI_T_BIND_*`).
+///
+/// Everything this runtime exports today aggregates per rank
+/// ([`PvarBind::NoObject`]); the other bindings document where the matching
+/// and CRI variables would attach in a full `MPI_T` implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PvarBind {
+    /// Whole-process variable (`MPI_T_BIND_NO_OBJECT`).
+    NoObject,
+    /// Bound to a communicator (`MPI_T_BIND_MPI_COMM`) — the matching-layer
+    /// variables in a per-communicator build.
+    Communicator,
+    /// Bound to one communication resources instance (no MPI_T equivalent;
+    /// CRIs are this paper's contribution).
+    Instance,
+}
+
+impl PvarBind {
+    /// Stable machine-readable name (used in the JSON exporter).
+    pub fn name(self) -> &'static str {
+        match self {
+            PvarBind::NoObject => "no_object",
+            PvarBind::Communicator => "communicator",
+            PvarBind::Instance => "instance",
+        }
+    }
+}
+
+/// Metadata for one performance variable (`MPI_T_pvar_get_info`).
+#[derive(Debug, Clone)]
+pub struct PvarInfo {
+    /// Unique variable name.
+    pub name: String,
+    /// Human-readable description.
+    pub desc: &'static str,
+    /// Variable class.
+    pub class: PvarClass,
+    /// Object binding.
+    pub bind: PvarBind,
+    /// Whether the variable can be written/reset through the interface.
+    pub readonly: bool,
+    /// Whether the variable runs continuously or obeys session start/stop.
+    pub continuous: bool,
+}
+
+/// A value read from a performance variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PvarValue {
+    /// Counters, timers and watermarks read one number.
+    Scalar(u64),
+    /// Histograms read the full bucket vector plus sum/count, so tools can
+    /// derive means and tail shares.
+    Histogram {
+        /// Per-bucket observation counts (see
+        /// [`fairmpi_spc::bucket_for`] for the bucket layout).
+        buckets: [u64; HISTOGRAM_BUCKETS],
+        /// Saturating sum of all recorded values.
+        sum: u64,
+        /// Number of recorded observations.
+        count: u64,
+    },
+}
+
+impl PvarValue {
+    /// The scalar value, if this is a scalar class.
+    pub fn as_scalar(&self) -> Option<u64> {
+        match self {
+            PvarValue::Scalar(v) => Some(*v),
+            PvarValue::Histogram { .. } => None,
+        }
+    }
+}
+
+/// Errors from the pvar interface (the `MPI_T_ERR_*` family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpitError {
+    /// Variable index out of range (`MPI_T_ERR_INVALID_INDEX`).
+    InvalidIndex,
+    /// Handle does not belong to this session
+    /// (`MPI_T_ERR_INVALID_HANDLE`).
+    InvalidHandle,
+    /// Start/stop on a continuous variable
+    /// (`MPI_T_ERR_PVAR_NO_STARTSTOP`).
+    NoStartStop,
+    /// Write/reset on a readonly variable (`MPI_T_ERR_PVAR_NO_WRITE`).
+    NoWrite,
+}
+
+impl fmt::Display for MpitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MpitError::InvalidIndex => "invalid performance-variable index",
+            MpitError::InvalidHandle => "handle does not belong to this session",
+            MpitError::NoStartStop => "variable is continuous; start/stop not permitted",
+            MpitError::NoWrite => "variable is readonly; reset/write not permitted",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for MpitError {}

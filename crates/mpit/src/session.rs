@@ -1,0 +1,197 @@
+//! Pvar sessions and handles: start/stop/read/reset semantics.
+
+use fairmpi_spc::HISTOGRAM_BUCKETS;
+
+use crate::pvar::{MpitError, PvarClass, PvarValue};
+use crate::registry::PvarRegistry;
+
+/// An allocated handle inside one session (`MPI_T_pvar_handle_alloc`).
+///
+/// Plain index — only meaningful to the session that allocated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PvarHandle(usize);
+
+#[derive(Debug)]
+struct HandleState {
+    index: usize,
+    /// Non-continuous variables only accumulate while started.
+    started: bool,
+    /// Global value captured at the last start/reset; reads subtract it.
+    baseline: PvarValue,
+    /// Value frozen by `stop` (`None` while running).
+    frozen: Option<PvarValue>,
+}
+
+/// One measurement session (`MPI_T_pvar_session_create`).
+///
+/// Sessions isolate tools from each other: every handle carries its own
+/// baseline, and [`PvarSession::reset`] rebases that baseline instead of
+/// writing the shared [`fairmpi_spc::SpcSet`] cell. Two sessions reading
+/// the same variable therefore never perturb each other — the guarantee
+/// MPI_T §14.3.7 requires of per-session pvars.
+pub struct PvarSession<'a> {
+    registry: &'a PvarRegistry,
+    handles: Vec<HandleState>,
+}
+
+fn zero_like(v: &PvarValue) -> PvarValue {
+    match v {
+        PvarValue::Scalar(_) => PvarValue::Scalar(0),
+        PvarValue::Histogram { .. } => PvarValue::Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            count: 0,
+        },
+    }
+}
+
+/// Element-wise saturating `now - baseline`. Saturating, not wrapping: a
+/// concurrent global reset can legitimately move `now` below the baseline,
+/// and a session must then read 0, not a number near `u64::MAX`.
+fn delta(now: &PvarValue, baseline: &PvarValue) -> PvarValue {
+    match (now, baseline) {
+        (PvarValue::Scalar(n), PvarValue::Scalar(b)) => PvarValue::Scalar(n.saturating_sub(*b)),
+        (
+            PvarValue::Histogram {
+                buckets: nb,
+                sum: ns,
+                count: nc,
+            },
+            PvarValue::Histogram {
+                buckets: bb,
+                sum: bs,
+                count: bc,
+            },
+        ) => {
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for (out, (n, b)) in buckets.iter_mut().zip(nb.iter().zip(bb.iter())) {
+                *out = n.saturating_sub(*b);
+            }
+            PvarValue::Histogram {
+                buckets,
+                sum: ns.saturating_sub(*bs),
+                count: nc.saturating_sub(*bc),
+            }
+        }
+        // A variable never changes shape, so mixed arms are unreachable;
+        // fall back to the raw value rather than panic in telemetry code.
+        (n, _) => n.clone(),
+    }
+}
+
+impl<'a> PvarSession<'a> {
+    /// Create an empty session over `registry`.
+    pub fn new(registry: &'a PvarRegistry) -> Self {
+        Self {
+            registry,
+            handles: Vec::new(),
+        }
+    }
+
+    /// Bind variable `index` into this session (`MPI_T_pvar_handle_alloc`).
+    ///
+    /// Non-continuous variables start *stopped* with their baseline at the
+    /// current global value, so a freshly allocated handle reads 0 until
+    /// [`PvarSession::start`].
+    pub fn handle_alloc(&mut self, index: usize) -> Result<PvarHandle, MpitError> {
+        let info = self.registry.info(index)?;
+        let continuous = info.continuous;
+        let baseline = self.registry.read_raw(index)?;
+        let frozen = if continuous {
+            None
+        } else {
+            Some(zero_like(&baseline))
+        };
+        self.handles.push(HandleState {
+            index,
+            started: continuous,
+            baseline,
+            frozen,
+        });
+        Ok(PvarHandle(self.handles.len() - 1))
+    }
+
+    fn state(&self, h: PvarHandle) -> Result<&HandleState, MpitError> {
+        self.handles.get(h.0).ok_or(MpitError::InvalidHandle)
+    }
+
+    fn state_mut(&mut self, h: PvarHandle) -> Result<&mut HandleState, MpitError> {
+        self.handles.get_mut(h.0).ok_or(MpitError::InvalidHandle)
+    }
+
+    /// Variable class behind a handle (convenience for exporters).
+    pub fn class(&self, h: PvarHandle) -> Result<PvarClass, MpitError> {
+        let index = self.state(h)?.index;
+        Ok(self.registry.info(index)?.class)
+    }
+
+    /// Begin accumulating (`MPI_T_pvar_start`). Rebases the baseline to the
+    /// current global value; errors with [`MpitError::NoStartStop`] on
+    /// continuous variables.
+    pub fn start(&mut self, h: PvarHandle) -> Result<(), MpitError> {
+        let registry = self.registry;
+        let state = self.state_mut(h)?;
+        if registry.info(state.index)?.continuous {
+            return Err(MpitError::NoStartStop);
+        }
+        state.baseline = registry.read_raw(state.index)?;
+        state.started = true;
+        state.frozen = None;
+        Ok(())
+    }
+
+    /// Freeze the handle's value (`MPI_T_pvar_stop`). Later reads return
+    /// the frozen value until the next [`PvarSession::start`].
+    pub fn stop(&mut self, h: PvarHandle) -> Result<(), MpitError> {
+        let registry = self.registry;
+        let state = self.state_mut(h)?;
+        if registry.info(state.index)?.continuous {
+            return Err(MpitError::NoStartStop);
+        }
+        let now = registry.read_raw(state.index)?;
+        state.frozen = Some(delta(&now, &state.baseline));
+        state.started = false;
+        Ok(())
+    }
+
+    /// Read the handle's value (`MPI_T_pvar_read`).
+    ///
+    /// Continuous variables (watermarks) read the live global value;
+    /// started non-continuous variables read the saturating delta from the
+    /// session baseline; stopped ones read the frozen value.
+    pub fn read(&self, h: PvarHandle) -> Result<PvarValue, MpitError> {
+        let state = self.state(h)?;
+        if let Some(frozen) = &state.frozen {
+            return Ok(frozen.clone());
+        }
+        let now = self.registry.read_raw(state.index)?;
+        if self.registry.info(state.index)?.continuous {
+            return Ok(now);
+        }
+        Ok(delta(&now, &state.baseline))
+    }
+
+    /// Zero the handle's view of the variable (`MPI_T_pvar_reset`).
+    ///
+    /// Deviation from MPI_T proper, documented in the crate docs: instead
+    /// of writing the global cell, reset rebases this session's baseline —
+    /// other sessions' reads are unaffected. Watermarks are readonly and
+    /// error with [`MpitError::NoWrite`].
+    pub fn reset(&mut self, h: PvarHandle) -> Result<(), MpitError> {
+        let registry = self.registry;
+        let state = self.state_mut(h)?;
+        if registry.info(state.index)?.readonly && registry.info(state.index)?.continuous {
+            return Err(MpitError::NoWrite);
+        }
+        state.baseline = registry.read_raw(state.index)?;
+        if state.frozen.is_some() {
+            state.frozen = Some(zero_like(&state.baseline));
+        }
+        Ok(())
+    }
+
+    /// Number of handles allocated in this session.
+    pub fn num_handles(&self) -> usize {
+        self.handles.len()
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use fairmpi_cri::{Assignment, Cri, CriPool};
 use fairmpi_fabric::{busy_wait_ns, Completion, Packet};
-use fairmpi_spc::Counter;
+use fairmpi_spc::{Counter, Histogram};
 use fairmpi_trace as trace;
 
 /// Which progress design is active (the Fig. 3a vs Fig. 3b axis).
@@ -85,11 +85,21 @@ impl ProgressEngine {
     /// completions produced (the `count` of paper Algorithm 2).
     pub fn progress<H: ProgressHandler>(&self, assignment: Assignment, handler: &H) -> usize {
         let _span = trace::span("progress.pass");
-        self.pool.spc().inc(Counter::ProgressCalls);
-        match self.mode {
+        let spc = self.pool.spc();
+        spc.inc(Counter::ProgressCalls);
+        let count = match self.mode {
             ProgressMode::Serial => self.progress_serial(handler),
             ProgressMode::Concurrent => self.progress_concurrent(assignment, handler),
-        }
+        };
+        // Useful vs wasted share of the progress budget: a pass that drains
+        // nothing is pure polling overhead (the cost the paper's dedicated
+        // design avoids by keeping threads on their own instance).
+        spc.inc(if count > 0 {
+            Counter::ProgressUsefulPasses
+        } else {
+            Counter::ProgressWastedPasses
+        });
+        count
     }
 
     /// Serial design: only the thread holding the global gate extracts;
@@ -158,6 +168,7 @@ impl ProgressEngine {
             }
         } // instance lock released before matching, per Fig. 1's pipeline.
 
+        spc.record_hist(Histogram::DrainBatchSize, items.len() as u64);
         if items.is_empty() {
             return 0;
         }

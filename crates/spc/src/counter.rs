@@ -79,11 +79,16 @@ pub enum Counter {
     /// Progress calls that found no completion on the dedicated instance and
     /// swept the other instances (Algorithm 2 fallback path).
     ProgressFallbackSweeps,
+    /// Progress passes that produced at least one user-visible completion.
+    ProgressUsefulPasses,
+    /// Progress passes that produced nothing — pure overhead spent polling
+    /// (the wasted share of the progress budget).
+    ProgressWastedPasses,
 }
 
 impl Counter {
     /// Total number of counters; the size of every [`crate::SpcSet`].
-    pub const COUNT: usize = Counter::ProgressFallbackSweeps as usize + 1;
+    pub const COUNT: usize = Counter::ProgressWastedPasses as usize + 1;
 
     /// All counters in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -113,6 +118,8 @@ impl Counter {
         Counter::ProgressCalls,
         Counter::CompletionsDrained,
         Counter::ProgressFallbackSweeps,
+        Counter::ProgressUsefulPasses,
+        Counter::ProgressWastedPasses,
     ];
 
     /// Stable machine-readable name (used in CSV/JSON output).
@@ -144,6 +151,8 @@ impl Counter {
             Counter::ProgressCalls => "progress_calls",
             Counter::CompletionsDrained => "completions_drained",
             Counter::ProgressFallbackSweeps => "progress_fallback_sweeps",
+            Counter::ProgressUsefulPasses => "progress_useful_passes",
+            Counter::ProgressWastedPasses => "progress_wasted_passes",
         }
     }
 

@@ -25,14 +25,18 @@
 //! ```
 
 mod counter;
+mod histogram;
 mod set;
 mod snapshot;
 mod timer;
+mod watermark;
 
 pub use counter::Counter;
+pub use histogram::{bucket_for, bucket_upper_bound, Histogram, HistogramCell, HISTOGRAM_BUCKETS};
 pub use set::SpcSet;
 pub use snapshot::SpcSnapshot;
 pub use timer::ScopedTimer;
+pub use watermark::{Watermark, WatermarkCell};
 
 #[cfg(test)]
 mod tests;

@@ -63,7 +63,9 @@ impl SpcSnapshot {
                 | Counter::MaxOutOfSequenceBuffered => {
                     out.values[i] = self.values[i].max(other.values[i]);
                 }
-                _ => out.values[i] = self.values[i] + other.values[i],
+                // Saturating: merging many long-running ranks must not wrap
+                // the time accumulators.
+                _ => out.values[i] = self.values[i].saturating_add(other.values[i]),
             }
         }
         out

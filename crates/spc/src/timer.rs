@@ -43,7 +43,9 @@ impl<'a> ScopedTimer<'a> {
 
 impl Drop for ScopedTimer<'_> {
     fn drop(&mut self) {
-        self.spc.add(self.counter, self.elapsed_ns());
+        // Saturating: timer accumulators must pin at u64::MAX rather than
+        // wrap and report a tiny total after ~584 years of accumulated ns.
+        self.spc.add_saturating(self.counter, self.elapsed_ns());
     }
 }
 

@@ -171,8 +171,9 @@ pub struct Sim<W: WorldAccess> {
     /// Interned names for scheduler-level slices.
     sleep_name: NameId,
     yield_name: NameId,
-    /// Periodic observer fired as virtual time crosses interval boundaries.
-    tick_hook: Option<TickHook<W>>,
+    /// Periodic observers fired as virtual time crosses interval
+    /// boundaries (each with its own interval).
+    tick_hooks: Vec<TickHook<W>>,
     /// Workload-shared state (matchers, rings, counters).
     pub world: W,
 }
@@ -203,21 +204,29 @@ impl<W: WorldAccess> Sim<W> {
             tracks: Vec::new(),
             sleep_name: trace::intern("sleep"),
             yield_name: trace::intern("yield"),
-            tick_hook: None,
+            tick_hooks: Vec::new(),
             world,
         }
     }
 
     /// Install a periodic observer: `f(boundary_ns, &mut world)` fires once
     /// per `interval_ns` of virtual time as the clock crosses each boundary
-    /// (used for SPC time-series sampling).
-    pub fn set_tick_hook(&mut self, interval_ns: u64, f: TickFn<W>) {
+    /// (used for SPC time-series sampling and pvar scraping). Observers
+    /// stack: each call adds one with an independent interval, and hooks
+    /// sharing a boundary fire in installation order.
+    pub fn add_tick_hook(&mut self, interval_ns: u64, f: TickFn<W>) {
         let interval_ns = interval_ns.max(1);
-        self.tick_hook = Some(TickHook {
+        self.tick_hooks.push(TickHook {
             interval_ns,
             next_ns: interval_ns,
             f,
         });
+    }
+
+    /// Alias of [`Sim::add_tick_hook`], kept for the original single-hook
+    /// call sites.
+    pub fn set_tick_hook(&mut self, interval_ns: u64, f: TickFn<W>) {
+        self.add_tick_hook(interval_ns, f);
     }
 
     /// Current virtual time (ns).
@@ -326,12 +335,15 @@ impl<W: WorldAccess> Sim<W> {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             trace::set_virtual_now(at);
-            if let Some(mut hook) = self.tick_hook.take() {
-                while at >= hook.next_ns {
-                    (hook.f)(hook.next_ns, &mut self.world);
-                    hook.next_ns += hook.interval_ns;
+            if !self.tick_hooks.is_empty() {
+                let mut hooks = std::mem::take(&mut self.tick_hooks);
+                for hook in &mut hooks {
+                    while at >= hook.next_ns {
+                        (hook.f)(hook.next_ns, &mut self.world);
+                        hook.next_ns += hook.interval_ns;
+                    }
                 }
-                self.tick_hook = Some(hook);
+                self.tick_hooks = hooks;
             }
             events += 1;
             assert!(

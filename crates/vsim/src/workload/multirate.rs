@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use fairmpi_fabric::{Envelope, Packet, ANY_TAG};
 use fairmpi_matching::{MatchEvent, Matcher, PostOutcome, PostedRecv, SendSequencer};
-use fairmpi_spc::{Counter, SpcSet, SpcSnapshot};
+use fairmpi_spc::{Counter, Histogram, SpcSet, SpcSnapshot, Watermark};
 
 use crate::cost::CostModel;
 use crate::engine::{Action, Actor, LockId, Resume, Sim, WorldAccess};
@@ -170,6 +170,8 @@ pub(crate) struct MrWorld {
 impl WorldAccess for MrWorld {
     fn deliver(&mut self, mailbox: usize, payload: u64) {
         self.rings[mailbox].push_back(payload);
+        self.spc
+            .record_level(Watermark::InstanceRxDepth, self.rings[mailbox].len() as u64);
     }
 }
 
@@ -463,6 +465,9 @@ impl Receiver {
         world
             .spc
             .add(Counter::CompletionsDrained, self.batch.len() as u64);
+        world
+            .spc
+            .record_hist(Histogram::DrainBatchSize, self.batch.len() as u64);
         self.cost.extraction_ns * self.batch.len() as u64
     }
 
@@ -486,11 +491,14 @@ impl Receiver {
         cost
     }
 
-    /// After a batch: where to next?
-    fn end_of_pass_state(&mut self) -> RState {
+    /// After a batch: where to next? Also books the pass as useful or
+    /// wasted (the polling-overhead share the paper's designs trade off).
+    fn end_of_pass_state(&mut self, world: &mut MrWorld) -> RState {
         if self.got_this_pass == 0 {
+            world.spc.inc(Counter::ProgressWastedPasses);
             RState::IdlePoll
         } else {
+            world.spc.inc(Counter::ProgressUsefulPasses);
             self.idle_streak = 0;
             RState::Idle
         }
@@ -679,7 +687,7 @@ impl Actor<MrWorld> for Receiver {
                         if self.holding_gate {
                             self.state = RState::ReleaseGate;
                         } else {
-                            self.state = self.end_of_pass_state();
+                            self.state = self.end_of_pass_state(world);
                         }
                         continue;
                     }
@@ -689,7 +697,7 @@ impl Actor<MrWorld> for Receiver {
                 }
                 RState::ReleaseGate => {
                     self.holding_gate = false;
-                    self.state = self.end_of_pass_state();
+                    self.state = self.end_of_pass_state(world);
                     return Action::Unlock(self.gate);
                 }
                 RState::BigAcquire => {
@@ -717,7 +725,7 @@ impl Actor<MrWorld> for Receiver {
                     return Action::Compute(cost);
                 }
                 RState::BigRelease => {
-                    self.state = self.end_of_pass_state();
+                    self.state = self.end_of_pass_state(world);
                     return Action::Unlock(self.wiring.big);
                 }
                 RState::IdlePoll => {
@@ -737,6 +745,27 @@ impl Actor<MrWorld> for Receiver {
 // Runner
 // ---------------------------------------------------------------------
 
+/// Observation plumbing for one run (all fields optional; the default
+/// observes nothing).
+///
+/// The external-`spc` hook is what connects the MPI_T layer: a caller
+/// builds a `fairmpi_mpit::PvarRegistry` over its own `Arc<SpcSet>`,
+/// passes a clone here, and every pvar read during and after the run sees
+/// the exact cells the simulation updates — no copying, no translation.
+#[derive(Default)]
+pub struct RunHooks {
+    /// Accumulate into this counter set instead of a fresh internal one.
+    /// Pass a freshly created set unless deliberately aggregating runs.
+    pub spc: Option<Arc<SpcSet>>,
+    /// Sample the counter set every this many virtual ns into an
+    /// [`SpcSeries`].
+    pub series_interval_ns: Option<u64>,
+    /// `(interval_ns, f)`: call `f(boundary_ns, &spc)` as virtual time
+    /// crosses each interval boundary — the MPI_T-session scrape hook.
+    #[allow(clippy::type_complexity)]
+    pub scrape: Option<(u64, Box<dyn FnMut(u64, &SpcSet)>)>,
+}
+
 impl MultirateSim {
     /// Execute the experiment and report the virtual-time result.
     pub fn run(&self) -> MultirateResult {
@@ -752,6 +781,15 @@ impl MultirateSim {
         &self,
         series_interval_ns: Option<u64>,
     ) -> (MultirateResult, Option<SpcSeries>) {
+        self.run_hooked(RunHooks {
+            series_interval_ns,
+            ..RunHooks::default()
+        })
+    }
+
+    /// Full-control variant: external counter set, SPC series and a
+    /// periodic scrape callback (see [`RunHooks`]).
+    pub fn run_hooked(&self, hooks: RunHooks) -> (MultirateResult, Option<SpcSeries>) {
         assert!(self.pairs >= 1 && self.window >= 1 && self.iterations >= 1);
         let mut design = self.design;
         if design.process_mode {
@@ -764,7 +802,8 @@ impl MultirateSim {
         let cost = self
             .cost
             .unwrap_or_else(|| CostModel::for_fabric(&self.machine.fabric));
-        let spc = Arc::new(SpcSet::new());
+        let spc = hooks.spc.unwrap_or_else(|| Arc::new(SpcSet::new()));
+        let series_interval_ns = hooks.series_interval_ns;
 
         let num_comms = match design.matching {
             SimMatchLayout::SingleComm => 1,
@@ -836,11 +875,18 @@ impl MultirateSim {
         if let Some(series) = &series {
             let series = Rc::clone(series);
             let spc = Arc::clone(&spc);
-            sim.set_tick_hook(
+            sim.add_tick_hook(
                 series_interval_ns.unwrap(),
                 Box::new(move |boundary_ns, _world| {
                     series.borrow_mut().sample(boundary_ns, &spc);
                 }),
+            );
+        }
+        if let Some((interval_ns, mut scrape)) = hooks.scrape {
+            let spc = Arc::clone(&spc);
+            sim.add_tick_hook(
+                interval_ns,
+                Box::new(move |boundary_ns, _world| scrape(boundary_ns, &spc)),
             );
         }
 
@@ -1021,6 +1067,39 @@ mod tests {
             r1.msg_rate_per_s,
             r8.msg_rate_per_s
         );
+    }
+
+    #[test]
+    fn run_hooked_feeds_external_set_and_scrapes_periodically() {
+        use std::sync::Mutex;
+        let spc = Arc::new(SpcSet::new());
+        let scrapes: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&scrapes);
+        let (r, series) = sim(2, SimDesign::baseline()).run_hooked(RunHooks {
+            spc: Some(Arc::clone(&spc)),
+            series_interval_ns: None,
+            scrape: Some((
+                20_000,
+                Box::new(move |t, set| {
+                    sink.lock()
+                        .unwrap()
+                        .push((t, set.get(Counter::MessagesSent)));
+                }),
+            )),
+        });
+        assert!(series.is_none());
+        // The external set IS the run's set: totals agree exactly.
+        assert_eq!(spc.get(Counter::MessagesReceived), r.total_messages);
+        assert_eq!(spc.snapshot(), r.spc);
+        let scrapes = scrapes.lock().unwrap();
+        assert!(!scrapes.is_empty(), "scrape hook must fire");
+        assert!(
+            scrapes
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "boundaries and counter values must be monotonic"
+        );
+        assert_eq!(scrapes.last().unwrap().1, r.total_messages);
     }
 
     #[test]

@@ -42,4 +42,21 @@ grep -q "MPI_T session reads equal the SpcSnapshot values for this run ... PASS"
 (cd "$smoke_dir" && FAIRMPI_ITERS=2 "$bin/table2" > /dev/null)
 "$bin/fairmpi-report" "$smoke_dir/results/BENCH_table2.json" "$smoke_dir/results/BENCH_table2.json"
 
+echo "== offload smoke + regression gate =="
+# Tiny grid: the offload flagship read through MPI_T must dump well-formed
+# pvars with the session reads matching the SPC snapshot (the four
+# offload_* probes included).
+(cd "$smoke_dir" && FAIRMPI_ITERS=2 FAIRMPI_MAX_PAIRS=6 \
+    "$bin/fig_offload" --pvars offload_pvars.json > offload_pvars.log)
+grep -q "MPI_T session reads equal the SpcSnapshot values for this run ... PASS" \
+    "$smoke_dir/offload_pvars.log"
+"$bin/fairmpi-report" --check-pvars "$smoke_dir/offload_pvars.json"
+# The full grid is deterministic under virtual time, so a fresh run must
+# match the committed baseline within the noise threshold and every
+# printed qualitative check must hold.
+(cd "$smoke_dir" && "$bin/fig_offload" > offload.log)
+! grep -q "FAIL" "$smoke_dir/offload.log"
+"$bin/fairmpi-report" results/BENCH_fig_offload.json \
+    "$smoke_dir/results/BENCH_fig_offload.json" --noise 0.05
+
 echo "CI OK"

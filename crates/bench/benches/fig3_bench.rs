@@ -5,8 +5,9 @@
 //! figure comes from `cargo run --release -p fairmpi-bench --bin fig3`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairmpi_bench::figures::presets;
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
-use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress};
+use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimProgress};
 
 fn run(pairs: usize, progress: SimProgress, matching: SimMatchLayout, instances: usize) -> f64 {
     MultirateSim {
@@ -14,16 +15,13 @@ fn run(pairs: usize, progress: SimProgress, matching: SimMatchLayout, instances:
         pairs,
         window: 32,
         iterations: 4,
-        design: SimDesign {
+        design: presets::cell(
             instances,
-            assignment: SimAssignment::Dedicated,
+            SimAssignment::Dedicated,
             progress,
             matching,
-            allow_overtaking: false,
-            any_tag: false,
-            big_lock: false,
-            process_mode: false,
-        },
+            false,
+        ),
         seed: 1,
         cost: None,
     }

@@ -3,8 +3,9 @@
 //! `cargo run --release -p fairmpi-bench --bin fig4`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairmpi_bench::figures::presets;
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
-use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress};
+use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimProgress};
 
 fn run(pairs: usize, progress: SimProgress, matching: SimMatchLayout) -> f64 {
     MultirateSim {
@@ -12,16 +13,7 @@ fn run(pairs: usize, progress: SimProgress, matching: SimMatchLayout) -> f64 {
         pairs,
         window: 32,
         iterations: 4,
-        design: SimDesign {
-            instances: 20,
-            assignment: SimAssignment::Dedicated,
-            progress,
-            matching,
-            allow_overtaking: true,
-            any_tag: true,
-            big_lock: false,
-            process_mode: false,
-        },
+        design: presets::cell(20, SimAssignment::Dedicated, progress, matching, true),
         seed: 1,
         cost: None,
     }

@@ -5,10 +5,11 @@
 //! --bin table2`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairmpi_bench::figures::presets;
 use fairmpi_spc::Counter;
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
 use fairmpi_vsim::{
-    Machine, MachinePreset, MultirateResult, MultirateSim, SimAssignment, SimDesign, SimProgress,
+    Machine, MachinePreset, MultirateResult, MultirateSim, SimAssignment, SimProgress,
 };
 
 fn run(progress: SimProgress, matching: SimMatchLayout, instances: usize) -> MultirateResult {
@@ -17,16 +18,13 @@ fn run(progress: SimProgress, matching: SimMatchLayout, instances: usize) -> Mul
         pairs: 20,
         window: 32,
         iterations: 4,
-        design: SimDesign {
+        design: presets::cell(
             instances,
-            assignment: SimAssignment::Dedicated,
+            SimAssignment::Dedicated,
             progress,
             matching,
-            allow_overtaking: false,
-            any_tag: false,
-            big_lock: false,
-            process_mode: false,
-        },
+            false,
+        ),
         seed: 0xBEEF,
         cost: None,
     }

@@ -4,11 +4,12 @@
 //! Usage: `diag [pairs] [instances] [serial|concurrent] [single|perpair]
 //! [--trace out.json] [--spc-series out.csv]`
 
+use fairmpi_bench::figures::presets;
 use fairmpi_bench::observe::Observe;
 use fairmpi_bench::report::{BenchReport, Better, Metric};
 use fairmpi_spc::Counter;
 use fairmpi_vsim::workload::multirate::SimMatchLayout;
-use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimDesign, SimProgress};
+use fairmpi_vsim::{Machine, MachinePreset, MultirateSim, SimAssignment, SimProgress};
 
 fn main() {
     let (observe, args) = Observe::from_env();
@@ -27,16 +28,13 @@ fn main() {
         pairs,
         window: 128,
         iterations: 20,
-        design: SimDesign {
+        design: presets::cell(
             instances,
-            assignment: SimAssignment::Dedicated,
+            SimAssignment::Dedicated,
             progress,
             matching,
-            allow_overtaking: false,
-            any_tag: false,
-            big_lock: false,
-            process_mode: false,
-        },
+            false,
+        ),
         seed: 0xD1A6,
         cost: None,
     };

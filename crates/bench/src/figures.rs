@@ -9,6 +9,86 @@ use fairmpi_vsim::{
 use crate::stats::over_reps;
 use crate::{env_usize, Point, Series};
 
+/// The named design-point vocabulary shared by the bench binaries.
+///
+/// fig3/fig4/fig5/table2/diag/fig_offload all draw their `SimDesign`s from
+/// here instead of re-spelling ten-field literals — one place to extend
+/// when the design space grows a new axis.
+pub mod presets {
+    use fairmpi_vsim::workload::multirate::SimMatchLayout;
+    use fairmpi_vsim::{SimAssignment, SimDesign, SimProgress};
+
+    /// One cell of the instance-count × assignment grids: everything
+    /// defaulted except the swept axes. Overtaking implies `MPI_ANY_TAG`
+    /// receives, as in the paper's Fig. 4 runs.
+    pub fn cell(
+        instances: usize,
+        assignment: SimAssignment,
+        progress: SimProgress,
+        matching: SimMatchLayout,
+        overtaking: bool,
+    ) -> SimDesign {
+        SimDesign {
+            instances,
+            assignment,
+            progress,
+            matching,
+            allow_overtaking: overtaking,
+            any_tag: overtaking,
+            ..SimDesign::baseline()
+        }
+    }
+
+    /// "Thread": the paper's baseline threaded design — one shared
+    /// instance, serial progress, one matching engine.
+    pub fn thread_baseline() -> SimDesign {
+        SimDesign::baseline()
+    }
+
+    /// "Thread + CRIs": `n` dedicated instances, everything else baseline.
+    pub fn cris(n: usize) -> SimDesign {
+        cell(
+            n,
+            SimAssignment::Dedicated,
+            SimProgress::Serial,
+            SimMatchLayout::SingleComm,
+            false,
+        )
+    }
+
+    /// "Thread + CRIs*": dedicated instances plus concurrent progress and
+    /// per-pair communicators — the paper's best threaded design.
+    pub fn cris_star(n: usize) -> SimDesign {
+        cell(
+            n,
+            SimAssignment::Dedicated,
+            SimProgress::Concurrent,
+            SimMatchLayout::CommPerPair,
+            false,
+        )
+    }
+
+    /// A big-lock implementation: one global critical section around the
+    /// whole library (the IMPI/MPICH emulations of Fig. 5).
+    pub fn big_lock() -> SimDesign {
+        SimDesign {
+            big_lock: true,
+            ..SimDesign::baseline()
+        }
+    }
+
+    /// Process mode: pairs of single-threaded processes.
+    pub fn process() -> SimDesign {
+        SimDesign::process_mode()
+    }
+
+    /// Software offload: `workers` dedicated communication threads per
+    /// side fed by lock-free command queues (DESIGN.md §8).
+    pub fn offload(workers: usize) -> SimDesign {
+        SimDesign::offload(workers)
+    }
+}
+
 /// Default windows-per-pair for the sweep figures (paper: 1010; the
 /// default keeps a full figure under a couple of minutes).
 const DEFAULT_ITERS: usize = 40;
@@ -73,16 +153,7 @@ fn multirate_grid(
             (SimAssignment::RoundRobin, "round-robin"),
             (SimAssignment::Dedicated, "dedicated"),
         ] {
-            let design = SimDesign {
-                instances,
-                assignment,
-                progress,
-                matching,
-                allow_overtaking: overtaking,
-                any_tag: overtaking,
-                big_lock: false,
-                process_mode: false,
-            };
+            let design = presets::cell(instances, assignment, progress, matching, overtaking);
             series.push(sweep(
                 &machine,
                 format!("{instances} inst / {mode_name}"),
@@ -121,16 +192,7 @@ pub fn fig3_flagship(panel: char) -> MultirateSim {
         pairs: max_pairs(),
         window: 128,
         iterations: iters(),
-        design: SimDesign {
-            instances: 1,
-            assignment: SimAssignment::RoundRobin,
-            progress,
-            matching,
-            allow_overtaking: false,
-            any_tag: false,
-            big_lock: false,
-            process_mode: false,
-        },
+        design: presets::cell(1, SimAssignment::RoundRobin, progress, matching, false),
         seed: 1,
         cost: None,
     }
@@ -164,34 +226,15 @@ fn scaled_cost(machine: &Machine, factor: f64) -> CostModel {
 pub fn fig5() -> Vec<Series> {
     let machine = Machine::preset(MachinePreset::Alembert);
     let n = 20;
-    let base = SimDesign::baseline();
-    let cris = SimDesign {
-        instances: n,
-        assignment: SimAssignment::Dedicated,
-        ..base
-    };
-    let cris_star = SimDesign {
-        instances: n,
-        assignment: SimAssignment::Dedicated,
-        progress: SimProgress::Concurrent,
-        matching: SimMatchLayout::CommPerPair,
-        ..base
-    };
-    let big = SimDesign {
-        big_lock: true,
-        ..base
-    };
-    let process = SimDesign::process_mode();
-
     let entries: Vec<(&str, SimDesign, f64)> = vec![
-        ("OMPI Process", process, 1.0),
-        ("OMPI Thread", base, 1.0),
-        ("OMPI Thread + CRIs", cris, 1.0),
-        ("OMPI Thread + CRIs*", cris_star, 1.0),
-        ("IMPI Process", process, 0.85),
-        ("IMPI Thread", big, 0.85),
-        ("MPICH Process", process, 1.15),
-        ("MPICH Thread", big, 1.15),
+        ("OMPI Process", presets::process(), 1.0),
+        ("OMPI Thread", presets::thread_baseline(), 1.0),
+        ("OMPI Thread + CRIs", presets::cris(n), 1.0),
+        ("OMPI Thread + CRIs*", presets::cris_star(n), 1.0),
+        ("IMPI Process", presets::process(), 0.85),
+        ("IMPI Thread", presets::big_lock(), 0.85),
+        ("MPICH Process", presets::process(), 1.15),
+        ("MPICH Thread", presets::big_lock(), 1.15),
     ];
     entries
         .into_iter()
@@ -213,6 +256,43 @@ pub fn fig5_flagship() -> MultirateSim {
         window: 128,
         iterations: iters(),
         design: SimDesign::baseline(),
+        seed: 1,
+        cost: None,
+    }
+}
+
+/// The software-offload comparison (DESIGN.md §8; *not* a paper figure —
+/// the design point the paper leaves on the table): zero-byte message rate
+/// vs pairs for a big-lock implementation, the paper's CRI designs,
+/// software offload at 1/2/4 worker pairs, and process mode.
+pub fn fig_offload() -> Vec<Series> {
+    let machine = Machine::preset(MachinePreset::Alembert);
+    let n = 20;
+    let entries: Vec<(&str, SimDesign)> = vec![
+        ("Process", presets::process()),
+        ("Big-lock Thread", presets::big_lock()),
+        ("Thread + CRIs", presets::cris(n)),
+        ("Thread + CRIs*", presets::cris_star(n)),
+        ("Offload x1", presets::offload(1)),
+        ("Offload x2", presets::offload(2)),
+        ("Offload x4", presets::offload(4)),
+    ];
+    entries
+        .into_iter()
+        .map(|(label, design)| sweep(&machine, label.to_string(), design, None))
+        .collect()
+}
+
+/// The flagship design point of the offload figure for observability mode:
+/// two offload worker pairs at the full pair count — command queues,
+/// batch draining and both worker roles all exercised.
+pub fn fig_offload_flagship() -> MultirateSim {
+    MultirateSim {
+        machine: Machine::preset(MachinePreset::Alembert),
+        pairs: max_pairs(),
+        window: 128,
+        iterations: iters(),
+        design: presets::offload(2),
         seed: 1,
         cost: None,
     }
@@ -377,16 +457,13 @@ pub fn table2_flagship(iterations: usize) -> MultirateSim {
         pairs: 20,
         window: 128,
         iterations,
-        design: SimDesign {
-            instances: 1,
-            assignment: SimAssignment::Dedicated,
-            progress: SimProgress::Serial,
-            matching: SimMatchLayout::SingleComm,
-            allow_overtaking: false,
-            any_tag: false,
-            big_lock: false,
-            process_mode: false,
-        },
+        design: presets::cell(
+            1,
+            SimAssignment::Dedicated,
+            SimProgress::Serial,
+            SimMatchLayout::SingleComm,
+            false,
+        ),
         seed: 0xBEEF,
         cost: None,
     }
@@ -439,16 +516,13 @@ pub fn table2(iterations: usize) -> Vec<Table2Cell> {
                 pairs: 20,
                 window: 128,
                 iterations,
-                design: SimDesign {
+                design: presets::cell(
                     instances,
-                    assignment: SimAssignment::Dedicated,
+                    SimAssignment::Dedicated,
                     progress,
                     matching,
-                    allow_overtaking: false,
-                    any_tag: false,
-                    big_lock: false,
-                    process_mode: false,
-                },
+                    false,
+                ),
                 seed: 0xBEEF,
                 cost: None,
             }

@@ -21,7 +21,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use fairmpi_mpit::{json, prometheus, PvarRegistry, PvarSession, PvarValue};
-use fairmpi_spc::SpcSet;
+use fairmpi_spc::{SpcSet, Watermark};
 use fairmpi_trace as trace;
 use fairmpi_vsim::{MultirateSim, RunHooks};
 
@@ -35,13 +35,15 @@ type ScrapeFn = Box<dyn FnMut(u64, &SpcSet)>;
 /// The pvars sampled into the `--pvars` time-series at each scrape
 /// interval (a handful of rates tells the story; the full registry is
 /// dumped once at the end).
-const SCRAPE_PVARS: [&str; 6] = [
+const SCRAPE_PVARS: [&str; 8] = [
     "messages_sent",
     "messages_received",
     "out_of_sequence_messages",
     "match_time_ns",
     "instance_try_lock_failures",
     "progress_wasted_passes",
+    "offload_commands",
+    "offload_queue_depth_hwm",
 ];
 
 /// Parsed observability flags.
@@ -117,15 +119,21 @@ impl Observe {
         let spc = Arc::new(SpcSet::new());
         let registry = Arc::new(PvarRegistry::new(Arc::clone(&spc)));
         let mut session = PvarSession::new(&registry);
-        let tracked: Vec<_> = ["out_of_sequence_messages", "match_time_ns"]
-            .iter()
-            .map(|name| {
-                let idx = registry.index_of(name).expect("registered pvar");
-                let h = session.handle_alloc(idx).expect("valid index");
-                session.start(h).expect("counter pvars support start");
-                (*name, h)
-            })
-            .collect();
+        let tracked: Vec<_> = [
+            "out_of_sequence_messages",
+            "match_time_ns",
+            "offload_commands",
+            "offload_batches",
+            "offload_backpressure_stalls",
+        ]
+        .iter()
+        .map(|name| {
+            let idx = registry.index_of(name).expect("registered pvar");
+            let h = session.handle_alloc(idx).expect("valid index");
+            session.start(h).expect("counter pvars support start");
+            (*name, h)
+        })
+        .collect();
 
         // Interval scraping through the registry (MPI_T-style periodic
         // reads), collected for the JSON time-series.
@@ -209,6 +217,25 @@ impl Observe {
                 );
                 session_reads.push((name.to_string(), json::Value::from(read)));
             }
+            // Watermark pvars are continuous (no start/stop), so the
+            // offload queue-depth high-water mark is checked as a raw
+            // registry read against the live cell the run recorded into.
+            let hwm_idx = registry
+                .index_of("offload_queue_depth_hwm")
+                .expect("registered pvar");
+            let hwm = match registry.read_raw(hwm_idx).expect("valid index") {
+                PvarValue::Scalar(v) => v,
+                PvarValue::Histogram { .. } => unreachable!("watermark pvars are scalar"),
+            };
+            assert_eq!(
+                hwm,
+                spc.watermark(Watermark::OffloadQueueDepth).high(),
+                "offload_queue_depth_hwm pvar diverged from the SPC watermark cell"
+            );
+            session_reads.push((
+                "offload_queue_depth_hwm".to_string(),
+                json::Value::from(hwm),
+            ));
             crate::check(
                 "MPI_T session reads equal the SpcSnapshot values for this run",
                 true,

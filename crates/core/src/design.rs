@@ -60,6 +60,12 @@ pub struct DesignConfig {
     pub allow_overtaking: bool,
     /// Requested threading level.
     pub thread_level: ThreadLevel,
+    /// Number of dedicated offload (communication) worker threads; 0
+    /// disables offload and application threads drive the engine directly.
+    /// With offload enabled, every `isend`/`irecv`/`put`/`flush` enqueues a
+    /// descriptor on a lock-free command queue instead of touching the CRI
+    /// and matching locks.
+    pub offload_workers: usize,
 }
 
 impl Default for DesignConfig {
@@ -75,6 +81,7 @@ impl Default for DesignConfig {
             lock_model: LockModel::PerInstance,
             allow_overtaking: false,
             thread_level: ThreadLevel::Multiple,
+            offload_workers: 0,
         }
     }
 }
@@ -88,6 +95,21 @@ impl DesignConfig {
             num_instances,
             assignment: Assignment::Dedicated,
             progress: ProgressMode::Concurrent,
+            ..Self::default()
+        }
+    }
+
+    /// The software-offload design point: `workers` dedicated communication
+    /// threads, each owning its own CRI (dedicated assignment, concurrent
+    /// progress), fed by a lock-free command queue. Application threads
+    /// never take the instance or matching locks on the fast path.
+    pub fn offload(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            num_instances: workers,
+            assignment: Assignment::Dedicated,
+            progress: ProgressMode::Concurrent,
+            offload_workers: workers,
             ..Self::default()
         }
     }
@@ -216,6 +238,18 @@ mod tests {
         assert_eq!(d.num_instances, 20);
         assert_eq!(d.assignment, Assignment::Dedicated);
         assert_eq!(d.progress, ProgressMode::Concurrent);
+        assert_eq!(d.offload_workers, 0, "proposed design is not offload");
+    }
+
+    #[test]
+    fn offload_design_dedicates_one_cri_per_worker() {
+        let d = DesignConfig::offload(4);
+        assert_eq!(d.offload_workers, 4);
+        assert_eq!(d.num_instances, 4);
+        assert_eq!(d.assignment, Assignment::Dedicated);
+        assert_eq!(d.progress, ProgressMode::Concurrent);
+        // Zero workers would be "offload to nobody"; clamp to one.
+        assert_eq!(DesignConfig::offload(0).offload_workers, 1);
     }
 
     #[test]

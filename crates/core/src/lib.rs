@@ -51,6 +51,7 @@ pub mod datatypes;
 mod design;
 mod error;
 mod handler;
+mod offload;
 mod p2p;
 mod proc;
 mod request;
@@ -74,4 +75,5 @@ pub use world::{World, WorldBuilder};
 
 // Re-export the vocabulary types users need.
 pub use fairmpi_fabric::{CommId, FabricConfig, MachineKind, Rank, Tag, ANY_SOURCE, ANY_TAG};
+pub use fairmpi_offload::{Backpressure, OffloadConfig};
 pub use fairmpi_spc::{Counter, SpcSet, SpcSnapshot};

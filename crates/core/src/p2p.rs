@@ -78,10 +78,11 @@ impl Proc {
             seq,
         };
 
-        let _big = st.maybe_big_lock();
-        if eager {
+        // Build the wire packet (eager payload, or the rendezvous RTS whose
+        // completion token 0 marks it as control-only).
+        let (packet, cq_token) = if eager {
             st.spc.inc(Counter::EagerSends);
-            st.send_packet(Packet::eager(envelope, buf.to_vec()), req.token);
+            (Packet::eager(envelope, buf.to_vec()), req.token)
         } else {
             st.spc.inc(Counter::RendezvousSends);
             let rts = Packet {
@@ -92,8 +93,34 @@ impl Proc {
                 },
                 payload: Vec::new(),
             };
-            st.send_packet(rts, 0);
+            (rts, 0)
+        };
+
+        if let Some(rt) = st.offload_runtime() {
+            // Offload: enqueue the descriptor; a worker injects it. The
+            // sequence number above was already drawn in program order, so
+            // worker interleaving cannot overtake. A refused submission
+            // (fail-fast backpressure, or shutdown racing) falls through to
+            // the direct path with the same packet.
+            match rt.submit(fairmpi_offload::Command::Send {
+                packet,
+                token: req.token,
+                cq_token,
+            }) {
+                Ok(()) => return Ok(Request { token: req.token }),
+                Err(fairmpi_offload::Command::Send {
+                    packet, cq_token, ..
+                }) => {
+                    let _big = st.maybe_big_lock();
+                    st.send_packet(packet, cq_token);
+                    return Ok(Request { token: req.token });
+                }
+                Err(_) => unreachable!("send submission hands back a send"),
+            }
         }
+
+        let _big = st.maybe_big_lock();
+        st.send_packet(packet, cq_token);
         Ok(Request { token: req.token })
     }
 
@@ -135,6 +162,14 @@ impl Proc {
             src,
             tag,
         };
+        if let Some(rt) = st.offload_runtime() {
+            // Offload: the descriptor carries an order ticket so workers
+            // post receives in program order (the matcher serves posted
+            // receives FIFO). Never fails — refusals post inline through
+            // the same ordering protocol.
+            rt.submit_recv(posted);
+            return Ok(Request { token: req.token });
+        }
         let _big = st.maybe_big_lock();
         let (outcome, _work) = st.with_matcher(comm.id, |m| m.post_recv(posted))?;
         if let PostOutcome::Matched(packet) = outcome {
@@ -166,7 +201,10 @@ impl Proc {
             .ok_or(MpiError::InvalidRequest(request.token))?;
         let mut idle_spins = 0u32;
         while !inner.is_done() {
-            if st.progress_once() == 0 {
+            // Drives the engine directly, or — in offload mode — only
+            // drains this thread's completion notifications while the
+            // workers progress.
+            if st.advance() == 0 {
                 idle_spins += 1;
                 if idle_spins > 64 {
                     std::thread::yield_now();
@@ -189,7 +227,7 @@ impl Proc {
             .get(request.token)
             .ok_or(MpiError::InvalidRequest(request.token))?;
         if !inner.is_done() {
-            st.progress_once();
+            st.advance();
         }
         if inner.is_done() {
             st.requests.remove(request.token);
@@ -226,7 +264,7 @@ impl Proc {
                     return inner.take_outcome().map(|m| (i, m));
                 }
             }
-            if st.progress_once() == 0 {
+            if st.advance() == 0 {
                 std::thread::yield_now();
             }
         }
@@ -239,7 +277,7 @@ impl Proc {
             if let Some(found) = self.iprobe(src, tag, comm)? {
                 return Ok(found);
             }
-            if self.state.progress_once() == 0 {
+            if self.state.advance() == 0 {
                 std::thread::yield_now();
             }
         }

@@ -2,7 +2,7 @@
 
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use fairmpi_cri::CriPool;
 use fairmpi_fabric::{busy_wait_ns, CommId, Completion, CompletionKind, Fabric, Rank};
@@ -13,6 +13,7 @@ use fairmpi_spc::{Counter, SpcSet, SpcSnapshot};
 use crate::comm::CommState;
 use crate::design::{DesignConfig, LockModel, MatchMode};
 use crate::error::{MpiError, Result};
+use crate::offload::OffloadRuntime;
 use crate::request::RequestTable;
 use crate::rma::{AccumulateOp, Window, WindowId, WindowRegistry, WindowState};
 
@@ -100,6 +101,10 @@ pub(crate) struct ProcState {
     /// Process-wide critical section for big-lock design emulations.
     pub(crate) big_lock: Mutex<()>,
     pub(crate) windows: Arc<WindowRegistry>,
+    /// The software-offload runtime, set at build time when the design has
+    /// `offload_workers > 0` (the engine's workers hold an `Arc` back to
+    /// this state, so it outlives them; `World::drop` runs the shutdown).
+    pub(crate) offload: OnceLock<OffloadRuntime>,
 }
 
 impl ProcState {
@@ -122,7 +127,7 @@ impl ProcState {
             design.progress,
             fabric.config().extraction_overhead_ns,
         );
-        Arc::new(Self {
+        let state = Arc::new(Self {
             rank,
             num_ranks,
             design,
@@ -135,7 +140,13 @@ impl ProcState {
             global_matcher: Mutex::new(Matcher::new(spc, design.allow_overtaking)),
             big_lock: Mutex::new(()),
             windows,
-        })
+            offload: OnceLock::new(),
+        });
+        if design.offload_workers > 0 {
+            let config = crate::offload::offload_config_from_env(design.offload_workers);
+            let _ = state.offload.set(OffloadRuntime::start(&state, config));
+        }
+        state
     }
 
     /// Register a communicator's per-rank state.
@@ -184,10 +195,40 @@ impl ProcState {
         Ok(result)
     }
 
-    /// One progress pass under the configured design.
-    pub(crate) fn progress_once(&self) -> usize {
+    /// The offload runtime, while it still accepts commands. `None` both
+    /// for non-offload designs and after shutdown (callers then take the
+    /// direct path, so `Proc` handles stay usable after the world drops).
+    pub(crate) fn offload_runtime(&self) -> Option<&OffloadRuntime> {
+        self.offload.get().filter(|rt| rt.active())
+    }
+
+    /// One raw pass over the progress engine. Offload workers call this
+    /// through their backend; application threads must go through
+    /// [`ProcState::progress_once`], which keeps them off the engine while
+    /// offload is active.
+    pub(crate) fn progress_engine(&self) -> usize {
         let _big = self.maybe_big_lock();
         self.engine.progress(self.design.assignment, self)
+    }
+
+    /// One progress pass under the configured design. A no-op while offload
+    /// is active: the workers own the engine, and an application thread
+    /// touching it would bind itself a dedicated CRI the workers rely on.
+    pub(crate) fn progress_once(&self) -> usize {
+        if self.offload_runtime().is_some() {
+            return 0;
+        }
+        self.progress_engine()
+    }
+
+    /// What a blocked application thread does per spin: drain completion
+    /// notifications in offload mode, drive the engine otherwise. Returns
+    /// the number of events observed (0 = idle, caller may yield).
+    pub(crate) fn advance(&self) -> usize {
+        match self.offload_runtime() {
+            Some(rt) => rt.poll_completions(),
+            None => self.progress_once(),
+        }
     }
 
     pub(crate) fn validate_rank(&self, rank: Rank) -> Result<()> {
@@ -202,7 +243,7 @@ impl ProcState {
 
     /// Charge the origin-side cost of moving `len` payload bytes and return
     /// with the acquired instance still locked.
-    fn rma_inject(&self, payload_len: usize) -> fairmpi_cri::CriGuard<'_> {
+    pub(crate) fn rma_inject(&self, payload_len: usize) -> fairmpi_cri::CriGuard<'_> {
         let k = self.pool.instance_id(self.design.assignment);
         let guard = self.pool.instance(k).lock(&self.spc);
         let cfg = self.fabric.config();
@@ -213,15 +254,30 @@ impl ProcState {
         guard
     }
 
-    fn rma_token(win: &WindowState, target: Rank) -> u64 {
+    pub(crate) fn rma_token(win: &WindowState, target: Rank) -> u64 {
         ((win.id.0 as u64) << 32) | target as u64
     }
 
     pub(crate) fn rma_put(&self, win: &Arc<WindowState>, target: Rank, offset: usize, data: &[u8]) {
+        // The pending count rises at initiation time — before any offload
+        // enqueue — so a flush issued right behind the put always sees it.
+        win.pending_inc(self.rank, target);
+        if let Some(rt) = self.offload_runtime() {
+            let cmd = fairmpi_offload::Command::Put {
+                window: win.id.0 as u64,
+                target,
+                offset,
+                data: data.to_vec(),
+                token: 0,
+            };
+            if rt.submit_silent(cmd).is_ok() {
+                return;
+            }
+            // Refused (fail-fast backpressure or shutdown): apply inline.
+        }
         let _big = self.maybe_big_lock();
         let guard = self.rma_inject(data.len());
         win.store_bytes(target, offset, data);
-        win.pending_inc(self.rank, target);
         guard.post_completion(Completion {
             token: Self::rma_token(win, target),
             kind: CompletionKind::RmaDone,
@@ -311,6 +367,36 @@ impl ProcState {
     /// Progress until this rank's outstanding RMA ops (toward `target`, or
     /// all targets) have drained.
     pub(crate) fn rma_flush(&self, win: &Arc<WindowState>, target: Option<Rank>) {
+        if let Some(rt) = self.offload_runtime() {
+            // Ship a flush descriptor: the worker registers it and the
+            // engine's progress pass completes the request once the pending
+            // count drains (FIFO behind every queued put).
+            let req = self.requests.new_send(self.rank, 0, None);
+            let cmd = fairmpi_offload::Command::Flush {
+                window: win.id.0 as u64,
+                target,
+                token: req.token,
+            };
+            if rt.submit(cmd).is_ok() {
+                let mut idle_spins = 0u32;
+                while !req.is_done() {
+                    if rt.poll_completions() == 0 {
+                        idle_spins += 1;
+                        if idle_spins > 64 {
+                            std::thread::yield_now();
+                        }
+                    } else {
+                        idle_spins = 0;
+                    }
+                }
+                self.requests.remove(req.token);
+                // The backend counted RmaFlushes at completion.
+                return;
+            }
+            self.requests.remove(req.token);
+            // Refused: drain inline below (the workers still retire the
+            // queued puts; progress_once only yields meanwhile).
+        }
         loop {
             let pending = match target {
                 Some(t) => win.pending_toward(self.rank, t),

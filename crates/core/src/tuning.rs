@@ -62,6 +62,15 @@ pub const CVARS: &[CvarInfo] = &[
                       communicators (skips sequence validation).",
         values: &["true", "false"],
     },
+    CvarInfo {
+        name: "offload_workers",
+        description: "Dedicated communication (offload) worker threads per \
+                      rank; 0 disables offload. With offload on, see also \
+                      the runtime keys FAIRMPI_OFFLOAD_QUEUE_CAPACITY, \
+                      FAIRMPI_OFFLOAD_BATCH_LIMIT and \
+                      FAIRMPI_OFFLOAD_BACKPRESSURE (spin|yield|try_again).",
+        values: &[],
+    },
 ];
 
 /// Error from parsing a control variable.
@@ -194,6 +203,9 @@ impl Cvars {
                         "false" | "0" => false,
                         _ => return Err(err(name, value)),
                     };
+                }
+                "offload_workers" => {
+                    design.offload_workers = value.parse().map_err(|_| err(name, value))?;
                 }
                 _ => return Err(err(name, value)),
             }

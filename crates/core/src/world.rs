@@ -187,3 +187,22 @@ impl World {
         }
     }
 }
+
+impl Drop for World {
+    /// Two-phase offload shutdown: first signal every rank's engine (so all
+    /// workers enter their drain together and cross-rank traffic keeps
+    /// being co-progressed), then join them. No accepted command is lost;
+    /// `Proc` handles outliving the world fall back to the direct path.
+    fn drop(&mut self) {
+        for p in &self.procs {
+            if let Some(rt) = p.offload.get() {
+                rt.begin_shutdown();
+            }
+        }
+        for p in &self.procs {
+            if let Some(rt) = p.offload.get() {
+                rt.join();
+            }
+        }
+    }
+}

@@ -80,6 +80,11 @@ fn counter_desc(c: Counter) -> &'static str {
         Counter::ProgressFallbackSweeps => "progress calls that swept beyond the dedicated instance",
         Counter::ProgressUsefulPasses => "progress passes that produced at least one completion",
         Counter::ProgressWastedPasses => "progress passes that produced nothing",
+        Counter::OffloadCommands => "command descriptors enqueued to offload workers",
+        Counter::OffloadBatches => "command batches drained by offload workers",
+        Counter::OffloadBackpressureStalls => {
+            "enqueue attempts stalled or rejected by a full offload command queue"
+        }
     }
 }
 
@@ -90,6 +95,7 @@ fn watermark_desc(w: Watermark) -> &'static str {
         Watermark::OutOfSequenceBuffered => "out-of-sequence messages parked",
         Watermark::InstancePendingOps => "in-flight operations per instance at injection",
         Watermark::InstanceRxDepth => "receive-ring depth at wire delivery",
+        Watermark::OffloadQueueDepth => "offload command-queue depth at enqueue",
     }
 }
 

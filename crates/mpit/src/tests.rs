@@ -285,3 +285,42 @@ fn json_parser_handles_general_documents() {
     assert!(json::parse("[1, 2,]").is_err());
     assert!(json::parse("{} trailing").is_err());
 }
+
+/// An untouched low watermark stores `u64::MAX` internally as its
+/// fetch_min identity; every externally visible path — raw registry
+/// reads, the JSON dump, the Prometheus page — must translate that
+/// sentinel to 0 rather than report an absurd 18-quintillion "minimum".
+#[test]
+fn untouched_watermarks_export_zero_not_the_sentinel() {
+    let (spc, registry) = registry();
+    for w in Watermark::ALL {
+        for suffix in ["_hwm", "_lwm"] {
+            let idx = registry
+                .index_of(&format!("{}{}", w.name(), suffix))
+                .unwrap();
+            assert_eq!(
+                registry.read_raw(idx).unwrap(),
+                PvarValue::Scalar(0),
+                "{}{suffix} before any record",
+                w.name()
+            );
+        }
+    }
+    let sentinel = u64::MAX.to_string();
+    assert!(
+        !prometheus::render(&registry).contains(&sentinel),
+        "Prometheus page leaked the untouched-lwm sentinel"
+    );
+    assert!(
+        !json::pvars_value(&registry).render().contains(&sentinel),
+        "JSON dump leaked the untouched-lwm sentinel"
+    );
+
+    // One record arms both extremes of that cell only; its neighbors keep
+    // reading zero.
+    spc.record_level(Watermark::OffloadQueueDepth, 17);
+    let lwm = registry.index_of("offload_queue_depth_lwm").unwrap();
+    assert_eq!(registry.read_raw(lwm).unwrap(), PvarValue::Scalar(17));
+    let other = registry.index_of("posted_recv_queue_depth_lwm").unwrap();
+    assert_eq!(registry.read_raw(other).unwrap(), PvarValue::Scalar(0));
+}

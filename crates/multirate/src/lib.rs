@@ -233,6 +233,8 @@ pub fn run_virtual(cfg: &MultirateConfig, machine: &Machine, seed: u64) -> Multi
         // hybrid maps to thread-mode contention on the send side (its
         // receive side is uncontended, like process mode's).
         process_mode: matches!(cfg.mode, Mode::Processes),
+        // run_hooked zeroes this itself for process-mode runs.
+        offload_workers: cfg.design.offload_workers,
     };
     MultirateSim {
         machine: machine.clone(),

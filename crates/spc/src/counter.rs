@@ -84,11 +84,21 @@ pub enum Counter {
     /// Progress passes that produced nothing — pure overhead spent polling
     /// (the wasted share of the progress budget).
     ProgressWastedPasses,
+
+    // ---- software offload (fairmpi-offload) ----
+    /// Command descriptors enqueued onto an offload command queue.
+    OffloadCommands,
+    /// Batches drained from the command queue by offload workers (commands
+    /// per batch = `offload_commands / offload_batches`).
+    OffloadBatches,
+    /// Enqueue attempts that found the command queue full and had to stall
+    /// (spin/yield) or fail fast, depending on the backpressure policy.
+    OffloadBackpressureStalls,
 }
 
 impl Counter {
     /// Total number of counters; the size of every [`crate::SpcSet`].
-    pub const COUNT: usize = Counter::ProgressWastedPasses as usize + 1;
+    pub const COUNT: usize = Counter::OffloadBackpressureStalls as usize + 1;
 
     /// All counters in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -120,6 +130,9 @@ impl Counter {
         Counter::ProgressFallbackSweeps,
         Counter::ProgressUsefulPasses,
         Counter::ProgressWastedPasses,
+        Counter::OffloadCommands,
+        Counter::OffloadBatches,
+        Counter::OffloadBackpressureStalls,
     ];
 
     /// Stable machine-readable name (used in CSV/JSON output).
@@ -153,6 +166,9 @@ impl Counter {
             Counter::ProgressFallbackSweeps => "progress_fallback_sweeps",
             Counter::ProgressUsefulPasses => "progress_useful_passes",
             Counter::ProgressWastedPasses => "progress_wasted_passes",
+            Counter::OffloadCommands => "offload_commands",
+            Counter::OffloadBatches => "offload_batches",
+            Counter::OffloadBackpressureStalls => "offload_backpressure_stalls",
         }
     }
 

@@ -29,11 +29,14 @@ pub enum Watermark {
     /// Receive-ring depth sampled at each wire delivery (how far the
     /// progress engine lags injection).
     InstanceRxDepth,
+    /// Offload command-queue depth sampled at each enqueue (how far the
+    /// offload workers lag the producing application threads).
+    OffloadQueueDepth,
 }
 
 impl Watermark {
     /// Total number of watermark cells in every [`crate::SpcSet`].
-    pub const COUNT: usize = Watermark::InstanceRxDepth as usize + 1;
+    pub const COUNT: usize = Watermark::OffloadQueueDepth as usize + 1;
 
     /// All watermarks in index order.
     pub const ALL: [Watermark; Watermark::COUNT] = [
@@ -42,6 +45,7 @@ impl Watermark {
         Watermark::OutOfSequenceBuffered,
         Watermark::InstancePendingOps,
         Watermark::InstanceRxDepth,
+        Watermark::OffloadQueueDepth,
     ];
 
     /// Stable machine-readable name of the underlying level.
@@ -52,6 +56,7 @@ impl Watermark {
             Watermark::OutOfSequenceBuffered => "out_of_sequence_buffered",
             Watermark::InstancePendingOps => "instance_pending_ops",
             Watermark::InstanceRxDepth => "instance_rx_depth",
+            Watermark::OffloadQueueDepth => "offload_queue_depth",
         }
     }
 

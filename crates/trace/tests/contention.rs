@@ -30,6 +30,7 @@ fn one_cri_run_ranks_the_instance_lock_top() {
             any_tag: false,
             big_lock: false,
             process_mode: false,
+            offload_workers: 0,
         },
         seed: 7,
         cost: None,

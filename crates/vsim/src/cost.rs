@@ -58,6 +58,18 @@ pub struct CostModel {
     /// never exceed `1e9 / max(link_msg_overhead_ns, serialization)` — the
     /// "theoretical peak" line of paper Figs. 6 and 7.
     pub link_msg_overhead_ns: u64,
+    /// Software offload: lock-free enqueue of one command descriptor onto
+    /// the offload command queue (ticket CAS + cache-padded slot publish).
+    /// This is the *entire* per-message cost an application thread pays on
+    /// the send path in offload mode — the design's selling point.
+    pub offload_enqueue_ns: u64,
+    /// Software offload: worker-side cost per command popped while
+    /// batch-draining the command queue (slot read + seq release).
+    pub offload_drain_ns: u64,
+    /// Software offload: extra latency charged on the first batch after a
+    /// worker went idle (the nap-and-reschedule wake-up of a sleeping
+    /// dedicated thread).
+    pub offload_wakeup_ns: u64,
 }
 
 impl CostModel {
@@ -81,6 +93,9 @@ impl CostModel {
             complete_ns: 60,
             request_pool_ns: 60,
             link_msg_overhead_ns: 35,
+            offload_enqueue_ns: 40,
+            offload_drain_ns: 20,
+            offload_wakeup_ns: 2_000,
         }
     }
 

@@ -59,6 +59,12 @@ pub struct SimDesign {
     /// Process mode: each pair is a pair of single-threaded processes with
     /// private resources (the process-mode baselines of Fig. 5).
     pub process_mode: bool,
+    /// Software offload: this many dedicated communication workers per
+    /// side, each owning one instance. Application threads only enqueue
+    /// command descriptors (lock-free) and poll completions; the workers
+    /// do all injection, extraction and matching. 0 disables offload
+    /// (and it is ignored under `big_lock` or `process_mode`).
+    pub offload_workers: usize,
 }
 
 impl SimDesign {
@@ -73,6 +79,7 @@ impl SimDesign {
             any_tag: false,
             big_lock: false,
             process_mode: false,
+            offload_workers: 0,
         }
     }
 
@@ -81,6 +88,24 @@ impl SimDesign {
         Self {
             process_mode: true,
             matching: SimMatchLayout::CommPerPair,
+            ..Self::baseline()
+        }
+    }
+
+    /// The software-offload design point: `workers` dedicated communication
+    /// threads per side, each with a dedicated instance (mirrors
+    /// `DesignConfig::offload` in `fairmpi`). Composes with per-communicator
+    /// matching — without it every pair's posted receives share one PRQ and
+    /// the workers' match traversals grow with the pair count, burying the
+    /// benefit of the lock-free submission path.
+    pub fn offload(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            instances: workers,
+            assignment: SimAssignment::Dedicated,
+            progress: SimProgress::Concurrent,
+            matching: SimMatchLayout::CommPerPair,
+            offload_workers: workers,
             ..Self::baseline()
         }
     }
@@ -126,6 +151,11 @@ pub struct MultirateResult {
 
 const DRAIN_BATCH: usize = 32;
 
+/// Simulated offload command-queue capacity (the native default of
+/// `fairmpi_offload::OffloadConfig`). Enqueues against a full queue stall
+/// and count [`Counter::OffloadBackpressureStalls`].
+const OFFLOAD_QUEUE_CAP: usize = 1024;
+
 fn pack(comm: u32, tag: u16, seq: u64) -> u64 {
     debug_assert!(comm < 1 << 15, "too many communicators to pack");
     debug_assert!(seq < 1 << 32, "sequence number overflows packing");
@@ -161,6 +191,15 @@ pub(crate) struct MrWorld {
     spc: Arc<SpcSet>,
     /// Completed receives per receiver thread (request tokens == thread id).
     recv_done: Vec<u64>,
+    /// Sum of `recv_done` (the offload workers' termination check).
+    received: u64,
+    /// Offload: send command descriptors awaiting a worker (payload words).
+    cmd_send: VecDeque<u64>,
+    /// Offload: receive-post commands awaiting a worker (receiver ids).
+    cmd_recv: VecDeque<usize>,
+    /// Senders that have finished enqueueing (offload workers drain until
+    /// every sender is done *and* the command queue is empty).
+    senders_done: usize,
     rr_send: u64,
     rr_recv: u64,
     rng: SmallRng,
@@ -190,6 +229,83 @@ impl MrWorld {
             self.rng.gen_range(0..=max)
         }
     }
+
+    fn note_received(&mut self, token: usize) {
+        self.recv_done[token] += 1;
+        self.received += 1;
+    }
+
+    /// Lock-free command enqueue (the whole point: no lock action here).
+    /// Returns false — after counting a backpressure stall — when full.
+    fn offload_enqueue(&mut self, cmd: OffloadCmd) -> bool {
+        let queue_len = match cmd {
+            OffloadCmd::Send(payload) => {
+                if self.cmd_send.len() >= OFFLOAD_QUEUE_CAP {
+                    self.spc.inc(Counter::OffloadBackpressureStalls);
+                    return false;
+                }
+                self.cmd_send.push_back(payload);
+                self.cmd_send.len()
+            }
+            OffloadCmd::Recv(id) => {
+                if self.cmd_recv.len() >= OFFLOAD_QUEUE_CAP {
+                    self.spc.inc(Counter::OffloadBackpressureStalls);
+                    return false;
+                }
+                self.cmd_recv.push_back(id);
+                self.cmd_recv.len()
+            }
+        };
+        self.spc.inc(Counter::OffloadCommands);
+        self.spc
+            .record_level(Watermark::OffloadQueueDepth, queue_len as u64);
+        true
+    }
+
+    /// Pop up to `DRAIN_BATCH` packets from one instance ring into `batch`;
+    /// returns the extraction cost.
+    fn extract_into(&mut self, instance: usize, batch: &mut Vec<u64>, cost: &CostModel) -> u64 {
+        batch.clear();
+        let ring = &mut self.rings[instance];
+        while batch.len() < DRAIN_BATCH {
+            match ring.pop_front() {
+                Some(p) => batch.push(p),
+                None => break,
+            }
+        }
+        self.spc
+            .add(Counter::CompletionsDrained, batch.len() as u64);
+        self.spc
+            .record_hist(Histogram::DrainBatchSize, batch.len() as u64);
+        cost.extraction_ns * batch.len() as u64
+    }
+
+    /// Deliver one drained packet through the real matcher; returns the
+    /// virtual cost of the work performed and the completions it produced.
+    fn match_deliver(&mut self, payload: u64, cost: &CostModel) -> (u64, usize) {
+        let packet = unpack(payload);
+        let idx = self.matcher_index(packet.envelope.comm);
+        let mut events = std::mem::take(&mut self.scratch);
+        events.clear();
+        let work = self.matchers[idx].deliver(packet, &mut events);
+        let mut got = 0;
+        for ev in events.drain(..) {
+            self.note_received(ev.token as usize);
+            got += 1;
+        }
+        self.scratch = events;
+        let cost_ns = cost.match_time_ns(&work);
+        self.spc.add(Counter::MatchTimeNanos, cost_ns);
+        (cost_ns, got)
+    }
+}
+
+/// A simulated offload command descriptor.
+enum OffloadCmd {
+    /// A packed send payload, ready to inject.
+    Send(u64),
+    /// "Post one receive for receiver `id`".
+    Recv(usize),
 }
 
 #[derive(Clone)]
@@ -235,6 +351,9 @@ enum SState {
     Ship,
     /// Shipped; release the lock.
     Release,
+    /// Offload mode: lock-free enqueue onto the command queue (retried
+    /// with a short nap when the queue is full — backpressure).
+    OffloadEnqueue,
 }
 
 struct Sender {
@@ -265,19 +384,28 @@ impl Actor<MrWorld> for Sender {
         match self.state {
             SState::Next => {
                 if self.remaining == 0 {
+                    world.senders_done += 1;
                     return Action::Done;
                 }
                 self.remaining -= 1;
                 // Draw the sequence number *now*, before acquiring the
                 // instance — the variable delay between the draw and
                 // the injection is what lets threads overtake each
-                // other and produce out-of-sequence arrivals.
+                // other and produce out-of-sequence arrivals. (In offload
+                // mode the draw happens at enqueue time, in program order,
+                // exactly like the native runtime.)
                 let seq = world.sequencers[world.matcher_index(self.comm)].next(0);
                 self.cur_payload = pack(self.comm, self.pair as u16, seq);
                 self.state = if self.design.big_lock {
                     // The big lock already serializes everything; the
                     // pool is not a separate bottleneck there.
                     SState::Acquire
+                } else if self.design.offload_workers > 0 {
+                    // Offload: the descriptor *is* the command-ring slot,
+                    // so submission never touches the process-shared
+                    // request pool — the serialization that pins every
+                    // other thread-mode design to the pool ceiling.
+                    SState::OffloadEnqueue
                 } else {
                     SState::PoolAcquire
                 };
@@ -292,8 +420,22 @@ impl Actor<MrWorld> for Sender {
                 Action::Compute(self.cost.request_pool_ns)
             }
             SState::PoolRelease => {
-                self.state = SState::Acquire;
+                self.state = if self.design.offload_workers > 0 {
+                    SState::OffloadEnqueue
+                } else {
+                    SState::Acquire
+                };
                 Action::Unlock(self.wiring.send_pool(self.pair))
+            }
+            SState::OffloadEnqueue => {
+                if world.offload_enqueue(OffloadCmd::Send(self.cur_payload)) {
+                    self.state = SState::Next;
+                    Action::Compute(self.cost.offload_enqueue_ns)
+                } else {
+                    // Queue full: nap and retry (the Yield backpressure
+                    // policy). The descriptor and its seq are kept.
+                    Action::Sleep(500)
+                }
             }
             SState::Acquire => {
                 self.cur_instance = if self.design.process_mode {
@@ -384,6 +526,8 @@ enum RState {
     IdlePoll,
     /// Then yield the core.
     IdleYield,
+    /// Offload mode: lock-free enqueue of a receive-post command.
+    OffloadPost,
 }
 
 struct Receiver {
@@ -453,22 +597,8 @@ impl Receiver {
     }
 
     fn extract_batch(&mut self, world: &mut MrWorld) -> u64 {
-        self.batch.clear();
         self.batch_pos = 0;
-        let ring = &mut world.rings[self.cur_instance];
-        while self.batch.len() < DRAIN_BATCH {
-            match ring.pop_front() {
-                Some(p) => self.batch.push(p),
-                None => break,
-            }
-        }
-        world
-            .spc
-            .add(Counter::CompletionsDrained, self.batch.len() as u64);
-        world
-            .spc
-            .record_hist(Histogram::DrainBatchSize, self.batch.len() as u64);
-        self.cost.extraction_ns * self.batch.len() as u64
+        world.extract_into(self.cur_instance, &mut self.batch, &self.cost)
     }
 
     /// Deliver one drained packet through the real matcher; returns the
@@ -476,18 +606,8 @@ impl Receiver {
     fn match_one(&mut self, world: &mut MrWorld) -> u64 {
         let payload = self.batch[self.batch_pos];
         self.batch_pos += 1;
-        let packet = unpack(payload);
-        let idx = world.matcher_index(packet.envelope.comm);
-        let mut events = std::mem::take(&mut world.scratch);
-        events.clear();
-        let work = world.matchers[idx].deliver(packet, &mut events);
-        for ev in events.drain(..) {
-            world.recv_done[ev.token as usize] += 1;
-            self.got_this_pass += 1;
-        }
-        world.scratch = events;
-        let cost = self.cost.match_time_ns(&work);
-        world.spc.add(Counter::MatchTimeNanos, cost);
+        let (cost, got) = world.match_deliver(payload, &self.cost);
+        self.got_this_pass += got;
         cost
     }
 
@@ -526,12 +646,23 @@ impl Actor<MrWorld> for Receiver {
                     if self.posted < self.total() && done >= self.wait_target {
                         self.state = if self.design.big_lock {
                             RState::PostLock
+                        } else if self.design.offload_workers > 0 {
+                            // Offload: the recv descriptor rides in the
+                            // ring slot; no shared-pool visit.
+                            RState::OffloadPost
                         } else {
                             RState::PoolAcquire
                         };
                         return Action::Compute(self.cost.recv_software_ns);
                     }
-                    self.state = RState::Progress;
+                    // Offload: the workers progress; the application thread
+                    // only polls its completion queue (an empty-poll charge
+                    // plus backoff — the CQ read is the cqe cost).
+                    self.state = if self.design.offload_workers > 0 {
+                        RState::IdlePoll
+                    } else {
+                        RState::Progress
+                    };
                 }
                 RState::PoolAcquire => {
                     self.state = RState::PoolCharge;
@@ -542,8 +673,24 @@ impl Actor<MrWorld> for Receiver {
                     return Action::Compute(self.cost.request_pool_ns);
                 }
                 RState::PoolRelease => {
-                    self.state = RState::PostLock;
+                    self.state = if self.design.offload_workers > 0 {
+                        RState::OffloadPost
+                    } else {
+                        RState::PostLock
+                    };
                     return Action::Unlock(self.wiring.recv_pool(self.id));
+                }
+                RState::OffloadPost => {
+                    if world.offload_enqueue(OffloadCmd::Recv(self.id)) {
+                        self.posted += 1;
+                        if self.posted.is_multiple_of(self.window as u64) {
+                            self.wait_target = self.posted;
+                        }
+                        self.idle_streak = 0;
+                        self.state = RState::Idle;
+                        return Action::Compute(self.cost.offload_enqueue_ns);
+                    }
+                    return Action::Sleep(500);
                 }
                 RState::PostLock => {
                     self.state = RState::PostCharge;
@@ -567,7 +714,7 @@ impl Actor<MrWorld> for Receiver {
                     let idx = world.matcher_index(self.comm);
                     let (outcome, work) = world.matchers[idx].post_recv(recv);
                     if let PostOutcome::Matched(_) = outcome {
-                        world.recv_done[self.id] += 1;
+                        world.note_received(self.id);
                     }
                     self.posted += 1;
                     if self.posted.is_multiple_of(self.window as u64) {
@@ -742,6 +889,344 @@ impl Actor<MrWorld> for Receiver {
 }
 
 // ---------------------------------------------------------------------
+// Offload worker actors
+// ---------------------------------------------------------------------
+
+fn worker_backoff_ns(idle_streak: &mut u32) -> u64 {
+    let ns = 150u64.saturating_mul(1 << (*idle_streak).min(7));
+    *idle_streak += 1;
+    ns.min(20_000)
+}
+
+enum WsState {
+    /// Refill the local batch from the command queue (or execute it).
+    Drain,
+    /// Nothing queued: nap before polling again.
+    IdleSleep,
+    /// Take the dedicated instance lock (uncontended: one worker owns it).
+    Acquire,
+    /// Lock held: charge injection.
+    Inject,
+    /// Ship on the wire.
+    Ship,
+    /// Release the instance.
+    Release,
+}
+
+/// A dedicated send-side communication thread: batch-drains the command
+/// queue and injects through its own instance. Application threads never
+/// touch instance locks in offload mode — this actor is the only sender
+/// contending (with nobody) for `instance[w].send`.
+struct SendWorker {
+    instance: usize,
+    pairs: usize,
+    cost: CostModel,
+    wiring: Wiring,
+    send_locks: Arc<[LockId]>,
+    state: WsState,
+    batch: VecDeque<u64>,
+    cur_payload: u64,
+    idle_streak: u32,
+    was_idle: bool,
+}
+
+impl Actor<MrWorld> for SendWorker {
+    fn step(&mut self, _resume: Resume, _now: u64, world: &mut MrWorld) -> Action {
+        loop {
+            match self.state {
+                WsState::Drain => {
+                    if let Some(p) = self.batch.pop_front() {
+                        self.cur_payload = p;
+                        self.state = WsState::Acquire;
+                        continue;
+                    }
+                    let mut popped = 0u64;
+                    while (popped as usize) < DRAIN_BATCH {
+                        match world.cmd_send.pop_front() {
+                            Some(p) => {
+                                self.batch.push_back(p);
+                                popped += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if popped > 0 {
+                        world.spc.inc(Counter::OffloadBatches);
+                        let wake = if self.was_idle {
+                            self.cost.offload_wakeup_ns
+                        } else {
+                            0
+                        };
+                        self.was_idle = false;
+                        self.idle_streak = 0;
+                        return Action::Compute(wake + self.cost.offload_drain_ns * popped);
+                    }
+                    if world.senders_done == self.pairs {
+                        return Action::Done;
+                    }
+                    self.was_idle = true;
+                    self.state = WsState::IdleSleep;
+                    return Action::Compute(self.cost.poll_empty_ns);
+                }
+                WsState::IdleSleep => {
+                    self.state = WsState::Drain;
+                    return Action::Sleep(worker_backoff_ns(&mut self.idle_streak));
+                }
+                WsState::Acquire => {
+                    self.state = WsState::Inject;
+                    return Action::Lock(self.send_locks[self.instance]);
+                }
+                WsState::Inject => {
+                    self.state = WsState::Ship;
+                    return Action::Compute(self.cost.injection_time_ns(0, 28));
+                }
+                WsState::Ship => {
+                    let delay = self.wiring.wire_latency + world.jitter(self.wiring.jitter);
+                    world.spc.inc(Counter::MessagesSent);
+                    self.state = WsState::Release;
+                    return Action::Post {
+                        mailbox: self.instance,
+                        payload: self.cur_payload,
+                        delay_ns: delay,
+                    };
+                }
+                WsState::Release => {
+                    self.state = WsState::Drain;
+                    return Action::Unlock(self.send_locks[self.instance]);
+                }
+            }
+        }
+    }
+}
+
+enum WrState {
+    /// Drain receive-post commands, or run a progress pass, or finish.
+    Top,
+    /// Acquire the match lock to post one commanded receive.
+    PostLock,
+    /// Holding the match lock: post through the real matcher.
+    PostCharge,
+    /// Release the match lock.
+    PostUnlock,
+    /// Result of an instance try-lock during the progress sweep.
+    ConcTried,
+    /// Holding an instance lock: extract a batch.
+    Extract,
+    /// Release the instance, then match the batch.
+    InstanceUnlock,
+    /// Acquire the match lock for the next drained packet.
+    MatchLock,
+    /// Holding the match lock: deliver through the real matcher.
+    MatchCharge,
+    /// Release the match lock, continue the batch.
+    MatchUnlock,
+    /// Batch finished: advance the sweep or end the pass.
+    NextInstance,
+    /// Empty pass: nap before polling again.
+    IdleSleep,
+}
+
+/// A dedicated receive-side communication thread: posts the receives the
+/// application enqueued (no per-thread ordering protocol needed here —
+/// a pair's postings are interchangeable in this workload) and runs the
+/// progress engine over its dedicated instance, falling back to the rest
+/// of the sweep exactly like Algorithm 2.
+struct RecvWorker {
+    instance: usize,
+    total: u64,
+    cost: CostModel,
+    design: SimDesign,
+    wiring: Wiring,
+    recv_locks: Arc<[LockId]>,
+    match_locks: Arc<[LockId]>,
+    state: WrState,
+    cmds: VecDeque<usize>,
+    cur_post: usize,
+    sweep: Vec<usize>,
+    sweep_pos: usize,
+    cur_instance: usize,
+    batch: Vec<u64>,
+    batch_pos: usize,
+    got_this_pass: usize,
+    match_wait_from: u64,
+    idle_streak: u32,
+    was_idle: bool,
+}
+
+impl RecvWorker {
+    fn comm_for(&self, id: usize) -> u32 {
+        match self.design.matching {
+            SimMatchLayout::SingleComm => 0,
+            SimMatchLayout::CommPerPair => id as u32,
+        }
+    }
+
+    fn match_lock_for(&self, comm: u32) -> LockId {
+        match self.design.matching {
+            SimMatchLayout::SingleComm => self.match_locks[0],
+            SimMatchLayout::CommPerPair => self.match_locks[comm as usize],
+        }
+    }
+}
+
+impl Actor<MrWorld> for RecvWorker {
+    fn step(&mut self, resume: Resume, _now: u64, world: &mut MrWorld) -> Action {
+        loop {
+            match self.state {
+                WrState::Top => {
+                    if let Some(id) = self.cmds.pop_front() {
+                        self.cur_post = id;
+                        self.state = WrState::PostLock;
+                        continue;
+                    }
+                    let mut popped = 0u64;
+                    while (popped as usize) < DRAIN_BATCH {
+                        match world.cmd_recv.pop_front() {
+                            Some(id) => {
+                                self.cmds.push_back(id);
+                                popped += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if popped > 0 {
+                        world.spc.inc(Counter::OffloadBatches);
+                        let wake = if self.was_idle {
+                            self.cost.offload_wakeup_ns
+                        } else {
+                            0
+                        };
+                        self.was_idle = false;
+                        self.idle_streak = 0;
+                        return Action::Compute(wake + self.cost.offload_drain_ns * popped);
+                    }
+                    if world.received >= self.total {
+                        return Action::Done;
+                    }
+                    // Progress pass: dedicated instance first, round-robin
+                    // fallback over the others (Algorithm 2).
+                    world.spc.inc(Counter::ProgressCalls);
+                    self.sweep.clear();
+                    self.sweep_pos = 0;
+                    self.got_this_pass = 0;
+                    for off in 0..self.wiring.instances {
+                        self.sweep
+                            .push((self.instance + off) % self.wiring.instances);
+                    }
+                    self.cur_instance = self.sweep[0];
+                    self.state = WrState::ConcTried;
+                    return Action::TryLock(self.recv_locks[self.cur_instance]);
+                }
+                WrState::PostLock => {
+                    self.state = WrState::PostCharge;
+                    self.match_wait_from = _now;
+                    return Action::Lock(self.match_lock_for(self.comm_for(self.cur_post)));
+                }
+                WrState::PostCharge => {
+                    let comm = self.comm_for(self.cur_post);
+                    let recv = PostedRecv {
+                        token: self.cur_post as u64,
+                        comm,
+                        src: 0,
+                        tag: if self.design.any_tag {
+                            ANY_TAG
+                        } else {
+                            self.cur_post as i32
+                        },
+                    };
+                    let idx = world.matcher_index(comm);
+                    let (outcome, work) = world.matchers[idx].post_recv(recv);
+                    if let PostOutcome::Matched(_) = outcome {
+                        world.note_received(self.cur_post);
+                    }
+                    let cost = self.cost.match_time_ns(&work);
+                    world.spc.add(
+                        Counter::MatchTimeNanos,
+                        cost + (_now - self.match_wait_from),
+                    );
+                    self.state = WrState::PostUnlock;
+                    return Action::Compute(cost);
+                }
+                WrState::PostUnlock => {
+                    self.state = WrState::Top;
+                    return Action::Unlock(self.match_lock_for(self.comm_for(self.cur_post)));
+                }
+                WrState::ConcTried => {
+                    let Resume::TryLockResult(got) = resume else {
+                        unreachable!("instance resume must carry a try-lock result");
+                    };
+                    if !got {
+                        world.spc.inc(Counter::InstanceTryLockFailures);
+                        self.state = WrState::NextInstance;
+                        continue;
+                    }
+                    self.state = WrState::Extract;
+                }
+                WrState::Extract => {
+                    self.batch_pos = 0;
+                    let cost = world.extract_into(self.cur_instance, &mut self.batch, &self.cost);
+                    self.state = WrState::InstanceUnlock;
+                    return Action::Compute(cost);
+                }
+                WrState::InstanceUnlock => {
+                    self.state = WrState::MatchLock;
+                    return Action::Unlock(self.recv_locks[self.cur_instance]);
+                }
+                WrState::MatchLock => {
+                    if self.batch_pos >= self.batch.len() {
+                        self.state = WrState::NextInstance;
+                        continue;
+                    }
+                    let comm = payload_comm(self.batch[self.batch_pos]);
+                    self.state = WrState::MatchCharge;
+                    self.match_wait_from = _now;
+                    return Action::Lock(self.match_lock_for(comm));
+                }
+                WrState::MatchCharge => {
+                    let payload = self.batch[self.batch_pos];
+                    self.batch_pos += 1;
+                    let (cost, got) = world.match_deliver(payload, &self.cost);
+                    self.got_this_pass += got;
+                    world
+                        .spc
+                        .add(Counter::MatchTimeNanos, _now - self.match_wait_from);
+                    self.state = WrState::MatchUnlock;
+                    return Action::Compute(cost);
+                }
+                WrState::MatchUnlock => {
+                    let comm = payload_comm(self.batch[self.batch_pos - 1]);
+                    self.state = WrState::MatchLock;
+                    return Action::Unlock(self.match_lock_for(comm));
+                }
+                WrState::NextInstance => {
+                    self.sweep_pos += 1;
+                    let early_stop = self.got_this_pass > 0;
+                    if self.sweep_pos >= self.sweep.len() || early_stop {
+                        if self.got_this_pass == 0 {
+                            world.spc.inc(Counter::ProgressWastedPasses);
+                            self.was_idle = true;
+                            self.state = WrState::IdleSleep;
+                            return Action::Compute(self.cost.poll_empty_ns);
+                        }
+                        world.spc.inc(Counter::ProgressUsefulPasses);
+                        self.idle_streak = 0;
+                        self.state = WrState::Top;
+                        continue;
+                    }
+                    self.cur_instance = self.sweep[self.sweep_pos];
+                    self.state = WrState::ConcTried;
+                    return Action::TryLock(self.recv_locks[self.cur_instance]);
+                }
+                WrState::IdleSleep => {
+                    self.state = WrState::Top;
+                    return Action::Sleep(worker_backoff_ns(&mut self.idle_streak));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Runner
 // ---------------------------------------------------------------------
 
@@ -798,6 +1283,11 @@ impl MultirateSim {
             design.instances = self.pairs;
             design.matching = SimMatchLayout::CommPerPair;
         }
+        // Offload is a thread-mode design axis: single-threaded processes
+        // and big-lock emulations have no command queue to model.
+        if design.process_mode || design.big_lock {
+            design.offload_workers = 0;
+        }
         let instances = design.instances.max(1);
         let cost = self
             .cost
@@ -822,6 +1312,10 @@ impl MultirateSim {
             sequencers,
             spc: Arc::clone(&spc),
             recv_done: vec![0; self.pairs],
+            received: 0,
+            cmd_send: VecDeque::new(),
+            cmd_recv: VecDeque::new(),
+            senders_done: 0,
             rr_send: 0,
             rr_recv: 0,
             rng: SmallRng::seed_from_u64(self.seed ^ 0x9E37_79B9),
@@ -946,6 +1440,48 @@ impl MultirateSim {
                     holding_gate: false,
                     match_wait_from: 0,
                     idle_streak: 0,
+                }),
+            );
+        }
+
+        for w in 0..design.offload_workers {
+            sim.add_actor_named(
+                &format!("offload.send[{w}]"),
+                Box::new(SendWorker {
+                    instance: w % instances,
+                    pairs: self.pairs,
+                    cost,
+                    wiring: wiring.clone(),
+                    send_locks: Arc::clone(&send_locks),
+                    state: WsState::Drain,
+                    batch: VecDeque::with_capacity(DRAIN_BATCH),
+                    cur_payload: 0,
+                    idle_streak: 0,
+                    was_idle: false,
+                }),
+            );
+            sim.add_actor_named(
+                &format!("offload.recv[{w}]"),
+                Box::new(RecvWorker {
+                    instance: w % instances,
+                    total: per_pair * self.pairs as u64,
+                    cost,
+                    design,
+                    wiring: wiring.clone(),
+                    recv_locks: Arc::clone(&recv_locks),
+                    match_locks: Arc::clone(&match_locks),
+                    state: WrState::Top,
+                    cmds: VecDeque::with_capacity(DRAIN_BATCH),
+                    cur_post: 0,
+                    sweep: Vec::new(),
+                    sweep_pos: 0,
+                    cur_instance: 0,
+                    batch: Vec::with_capacity(DRAIN_BATCH),
+                    batch_pos: 0,
+                    got_this_pass: 0,
+                    match_wait_from: 0,
+                    idle_streak: 0,
+                    was_idle: false,
                 }),
             );
         }
@@ -1103,6 +1639,51 @@ mod tests {
     }
 
     #[test]
+    fn offload_design_completes_and_counts_queue_activity() {
+        let spc = Arc::new(SpcSet::new());
+        let (r, _) = sim(8, SimDesign::offload(2)).run_hooked(RunHooks {
+            spc: Some(Arc::clone(&spc)),
+            ..RunHooks::default()
+        });
+        assert_eq!(r.spc[Counter::MessagesReceived], r.total_messages);
+        // One send command and one receive-post command per message.
+        assert_eq!(r.spc[Counter::OffloadCommands], 2 * r.total_messages);
+        assert!(r.spc[Counter::OffloadBatches] >= 2, "workers must batch");
+        assert!(
+            r.spc[Counter::OffloadBatches] <= r.spc[Counter::OffloadCommands],
+            "a batch carries at least one command"
+        );
+        assert!(spc.watermark(Watermark::OffloadQueueDepth).high() >= 1);
+    }
+
+    #[test]
+    fn offload_runs_are_deterministic() {
+        let a = sim(6, SimDesign::offload(2)).run();
+        let b = sim(6, SimDesign::offload(2)).run();
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.spc, b.spc);
+    }
+
+    #[test]
+    fn offload_outpaces_the_big_lock_at_high_thread_counts() {
+        let pairs = 20;
+        let offload = sim(pairs, SimDesign::offload(2)).run();
+        let mut big = SimDesign::baseline();
+        big.big_lock = true;
+        let big = sim(pairs, big).run();
+        assert_eq!(
+            offload.spc[Counter::MessagesReceived],
+            offload.total_messages
+        );
+        assert!(
+            offload.msg_rate_per_s > big.msg_rate_per_s,
+            "offload {:.0}/s must beat the big lock {:.0}/s at {pairs} pairs",
+            offload.msg_rate_per_s,
+            big.msg_rate_per_s
+        );
+    }
+
+    #[test]
     fn big_lock_design_completes() {
         let mut d = SimDesign::baseline();
         d.big_lock = true;
@@ -1126,6 +1707,7 @@ mod tests {
                                 any_tag: allow,
                                 big_lock: false,
                                 process_mode: false,
+                                offload_workers: 0,
                             };
                             let r = MultirateSim {
                                 machine: Machine::preset(MachinePreset::Alembert),

@@ -59,4 +59,37 @@ grep -q "MPI_T session reads equal the SpcSnapshot values for this run ... PASS"
 "$bin/fairmpi-report" results/BENCH_fig_offload.json \
     "$smoke_dir/results/BENCH_fig_offload.json" --noise 0.05
 
+echo "== degradation: zero-fault identity + regression gate =="
+# With no fault plan armed the reliability layer must be invisible: the
+# offload grid (which never arms chaos) and the degradation grid (whose
+# drop=0 column exercises the chaos-off path) are deterministic under
+# virtual time, so fresh runs must be BIT-IDENTICAL to the committed
+# baselines — any drift means the chaos hooks leaked into clean runs.
+cmp results/fig_offload.csv "$smoke_dir/results/fig_offload.csv"
+(cd "$smoke_dir" && "$bin/fig_degradation" > degradation.log)
+! grep -q "FAIL" "$smoke_dir/degradation.log"
+cmp results/fig_degradation.csv "$smoke_dir/results/fig_degradation.csv"
+"$bin/fairmpi-report" results/BENCH_fig_degradation.json \
+    "$smoke_dir/results/BENCH_fig_degradation.json" --noise 0.05
+
+echo "== chaos soak (seeded fault injection) =="
+# Three seeds of the degradation flagship on a trimmed grid under a 10%
+# wire drop. Each run must terminate with every message delivered exactly
+# once (sent == received through the MPI_T dump) and must show the
+# reliability layer actually working: faults observed, repaired by
+# retransmission.
+for seed in 3 5 7; do
+    (cd "$smoke_dir" && FAIRMPI_ITERS=2 FAIRMPI_MAX_PAIRS=4 \
+        "$bin/fig_degradation" --chaos-seed "$seed" --chaos-drop 100 \
+        --pvars "chaos_$seed.json" > "chaos_$seed.log")
+    grep -q "MPI_T session reads equal the SpcSnapshot values for this run ... PASS" \
+        "$smoke_dir/chaos_$seed.log"
+    "$bin/fairmpi-report" --check-pvars "$smoke_dir/chaos_$seed.json"
+    sent=$(awk '$1 == "fairmpi_messages_sent" {print $2}' "$smoke_dir/chaos_$seed.prom")
+    recv=$(awk '$1 == "fairmpi_messages_received" {print $2}' "$smoke_dir/chaos_$seed.prom")
+    [ -n "$sent" ] && [ "$sent" -eq "$recv" ]
+    grep -Eq '^fairmpi_chaos_drops [1-9]' "$smoke_dir/chaos_$seed.prom"
+    grep -Eq '^fairmpi_retransmits [1-9]' "$smoke_dir/chaos_$seed.prom"
+done
+
 echo "CI OK"

@@ -30,6 +30,13 @@ fn main() {
         .write()
         .expect("bench report");
 
+    let s = figures::fig_degradation();
+    print_series("Degradation (lossy wire)", &s);
+    write_csv("fig_degradation", &s).expect("csv");
+    rate_report("fig_degradation", &[(String::new(), s.clone())])
+        .write()
+        .expect("bench report");
+
     figures::report_rma_figure("fig6", &figures::fig6());
     figures::report_rma_figure("fig7", &figures::fig7());
 

@@ -1,0 +1,79 @@
+//! The degradation sweep (DESIGN.md §9; *not* a paper figure): message
+//! rate under an increasingly lossy wire for a big-lock implementation,
+//! the paper's CRI designs, and software offload. The reliability layer's
+//! acceptance criterion is graceful degradation — retransmission and
+//! backoff cost virtual time, but every message still arrives exactly
+//! once and the rate never collapses to zero.
+
+use fairmpi_bench::observe::Observe;
+use fairmpi_bench::report::rate_report;
+use fairmpi_bench::{check, figures, print_series, write_csv};
+use fairmpi_spc::Counter;
+
+fn main() {
+    let (observe, _args) = Observe::from_env();
+    if observe.maybe_run(
+        "fig_degradation flagship (CRIs* @ 10% drop)",
+        figures::fig_degradation_flagship,
+    ) {
+        return;
+    }
+
+    let series = figures::fig_degradation();
+    print_series(
+        "Degradation: 0-byte msg rate (msg/s) vs wire drop probability (per-mille)",
+        &series,
+    );
+    let path = write_csv("fig_degradation", &series).expect("write csv");
+    println!("wrote {}", path.display());
+    let path = rate_report("fig_degradation", &[(String::new(), series.clone())])
+        .write()
+        .expect("write bench report");
+    println!("wrote {}", path.display());
+
+    let worst = *figures::DEGRADATION_DROPS_PM.last().unwrap() as f64;
+    for s in &series {
+        let clean = s.at(0.0).expect("zero-drop point");
+        let lossy = s.at(worst).expect("worst-drop point");
+        check(
+            &format!("degradation: {} completes at every drop rate", s.label),
+            s.points.iter().all(|p| p.mean > 0.0),
+        );
+        check(
+            &format!(
+                "degradation: {} degrades gracefully ({}\u{2030} drop keeps >10% of the clean rate)",
+                s.label, worst
+            ),
+            lossy > clean / 10.0,
+        );
+    }
+
+    // One observed flagship run: drops happened, retransmission repaired
+    // them, and delivery stayed exactly-once.
+    let r = figures::fig_degradation_flagship().run();
+    check(
+        "degradation: every message arrives exactly once under 10% drop",
+        r.spc[Counter::MessagesReceived] == r.total_messages,
+    );
+    check(
+        "degradation: drops were repaired by retransmits with real backoff",
+        r.spc[Counter::ChaosDrops] > 0
+            && r.spc[Counter::Retransmits] > 0
+            && r.spc[Counter::RetryBackoffNanos] > 0,
+    );
+    check(
+        "degradation: injected duplicates were suppressed at the receiver",
+        r.spc[Counter::ChaosDups] > 0 && r.spc[Counter::DuplicatesSuppressed] > 0,
+    );
+
+    // Zero-fault identity: with chaos off, no reliability machinery runs.
+    let mut clean = figures::fig_degradation_flagship();
+    clean.design = clean.design.chaos(0, 0, 0);
+    let c = clean.run();
+    check(
+        "degradation: a chaos-free run books zero chaos work",
+        c.spc[Counter::ChaosDrops] == 0
+            && c.spc[Counter::Retransmits] == 0
+            && c.spc[Counter::DuplicatesSuppressed] == 0,
+    );
+}

@@ -298,6 +298,76 @@ pub fn fig_offload_flagship() -> MultirateSim {
     }
 }
 
+/// The drop probabilities (per-mille) swept by the degradation figure.
+pub const DEGRADATION_DROPS_PM: [u16; 5] = [0, 25, 50, 100, 200];
+
+/// The degradation sweep (DESIGN.md §9; *not* a paper figure): zero-byte
+/// message rate at a fixed pair count as the wire's drop probability
+/// rises, for a big-lock implementation, the paper's CRI designs, and
+/// software offload. Duplicates ride along at a quarter of the drop rate
+/// so suppression is exercised too. Graceful degradation — recovery pays
+/// retransmission and backoff costs but never collapses the rate — is the
+/// acceptance criterion of the reliability layer.
+pub fn fig_degradation() -> Vec<Series> {
+    let machine = Machine::preset(MachinePreset::Alembert);
+    let pairs = max_pairs().min(8); // fixed load; the x-axis is drop rate
+    let n = 20;
+    let entries: Vec<(&str, SimDesign)> = vec![
+        ("Big-lock Thread", presets::big_lock()),
+        ("Thread + CRIs", presets::cris(n)),
+        ("Thread + CRIs*", presets::cris_star(n)),
+        ("Offload x2", presets::offload(2)),
+    ];
+    entries
+        .into_iter()
+        .map(|(label, design)| {
+            let points = DEGRADATION_DROPS_PM
+                .iter()
+                .map(|&drop_pm| {
+                    let (mean, stddev) = over_reps(reps(), |seed| {
+                        MultirateSim {
+                            machine: machine.clone(),
+                            pairs,
+                            window: 128,
+                            iterations: iters(),
+                            design: design.chaos(drop_pm, drop_pm / 4, 0xC0FFEE),
+                            seed,
+                            cost: None,
+                        }
+                        .run()
+                        .msg_rate_per_s
+                    });
+                    Point {
+                        x: drop_pm as f64,
+                        mean,
+                        stddev,
+                    }
+                })
+                .collect();
+            Series {
+                label: label.to_string(),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// The flagship design point of the degradation figure for observability
+/// mode: CRIs* under a 10% drop + 2.5% dup wire — retransmission, backoff
+/// and duplicate suppression all active on the paper's best threaded
+/// design.
+pub fn fig_degradation_flagship() -> MultirateSim {
+    MultirateSim {
+        machine: Machine::preset(MachinePreset::Alembert),
+        pairs: max_pairs().min(8),
+        window: 128,
+        iterations: iters(),
+        design: presets::cris_star(20).chaos(100, 25, 0xC0FFEE),
+        seed: 1,
+        cost: None,
+    }
+}
+
 /// One message-size panel of Figs. 6/7.
 pub struct RmaPanel {
     /// Payload size in bytes.

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use fairmpi_mpit::{json, prometheus, PvarRegistry, PvarSession, PvarValue};
 use fairmpi_spc::{SpcSet, Watermark};
 use fairmpi_trace as trace;
-use fairmpi_vsim::{MultirateSim, RunHooks};
+use fairmpi_vsim::{MultirateSim, RunHooks, SimDesign};
 
 /// Rows of the `--pvars` scrape time-series: (virtual boundary ns, one
 /// value per [`SCRAPE_PVARS`] entry).
@@ -55,23 +55,32 @@ pub struct Observe {
     pub spc_series_path: Option<PathBuf>,
     /// Destination for the MPI_T pvar snapshot JSON (`--pvars`).
     pub pvars_path: Option<PathBuf>,
+    /// Chaos RNG seed for the run (`--chaos-seed <n>`).
+    pub chaos_seed: Option<u64>,
+    /// Chaos drop probability in per-mille (`--chaos-drop <pm>`).
+    pub chaos_drop: Option<u16>,
 }
 
 impl Observe {
-    /// Strip `--trace <path>` / `--spc-series <path>` / `--pvars <path>`
-    /// out of `args`, leaving the binary's own arguments in place.
+    /// Strip `--trace <path>` / `--spc-series <path>` / `--pvars <path>` /
+    /// `--chaos-seed <n>` / `--chaos-drop <pm>` out of `args`, leaving the
+    /// binary's own arguments in place.
     pub fn from_args(args: &mut Vec<String>) -> Self {
-        fn take(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
+        fn take(args: &mut Vec<String>, flag: &str) -> Option<String> {
             let i = args.iter().position(|a| a == flag)?;
-            assert!(i + 1 < args.len(), "{flag} requires a path argument");
+            assert!(i + 1 < args.len(), "{flag} requires a value argument");
             let value = args.remove(i + 1);
             args.remove(i);
-            Some(PathBuf::from(value))
+            Some(value)
         }
         Self {
-            trace_path: take(args, "--trace"),
-            spc_series_path: take(args, "--spc-series"),
-            pvars_path: take(args, "--pvars"),
+            trace_path: take(args, "--trace").map(PathBuf::from),
+            spc_series_path: take(args, "--spc-series").map(PathBuf::from),
+            pvars_path: take(args, "--pvars").map(PathBuf::from),
+            chaos_seed: take(args, "--chaos-seed")
+                .map(|v| v.parse().expect("--chaos-seed takes an integer seed")),
+            chaos_drop: take(args, "--chaos-drop")
+                .map(|v| v.parse().expect("--chaos-drop takes a per-mille integer")),
         }
     }
 
@@ -89,13 +98,30 @@ impl Observe {
         self.trace_path.is_some() || self.spc_series_path.is_some() || self.pvars_path.is_some()
     }
 
+    /// Arm the lossy wire on a design when `--chaos-seed` / `--chaos-drop`
+    /// were given (every bench binary inherits the flags through here —
+    /// none of them parses chaos options itself).
+    pub fn apply_chaos(&self, design: SimDesign) -> SimDesign {
+        if self.chaos_seed.is_none() && self.chaos_drop.is_none() {
+            return design;
+        }
+        design.chaos(
+            self.chaos_drop.unwrap_or(100),
+            0,
+            self.chaos_seed.unwrap_or(1),
+        )
+    }
+
     /// If any flag is set, run the binary's flagship design point under
     /// observation and return `true` (the caller should skip its sweep).
+    /// Chaos flags apply to the flagship run.
     pub fn maybe_run(&self, label: &str, sim: impl FnOnce() -> MultirateSim) -> bool {
         if !self.active() {
             return false;
         }
-        self.run(label, &sim());
+        let mut sim = sim();
+        sim.design = self.apply_chaos(sim.design);
+        self.run(label, &sim);
         true
     }
 

@@ -1,0 +1,480 @@
+//! Deterministic fault injection for the fairmpi fabric.
+//!
+//! A [`FaultPlan`] is a small, copyable description of what should go wrong:
+//! per-mille probabilities for packet drop / duplication / reordering /
+//! delay, a probability of transient injection refusal (the software analog
+//! of CQ-full / `ENOBUFS`), and an optional permanent context death. Plans
+//! are seeded and the randomness is a hand-rolled xorshift, so a given plan
+//! replays the same fault schedule every run — chaos tests are ordinary
+//! deterministic tests.
+//!
+//! The plan itself is policy; the [`ChaosEngine`] is the mechanism. The
+//! fabric owns one engine per world and consults it at the two boundaries
+//! faults occur in real interconnects: when a sender *injects* (refusal) and
+//! when the wire *delivers* (drop / dup / reorder / delay, plus the kill
+//! trigger). Everything above the fabric — retransmission, failover,
+//! watchdogs — reacts to the injected faults exactly as it would to real
+//! ones.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Per-mille denominator used by every probability knob.
+pub const PM_SCALE: u16 = 1000;
+
+/// A tiny xorshift64 PRNG: deterministic, dependency-free, and good enough
+/// to schedule faults (we need reproducibility, not statistical quality).
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator; a zero seed is remapped (xorshift has a zero
+    /// fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = step(self.state);
+        self.state
+    }
+
+    /// A draw uniform over `0..PM_SCALE`, for per-mille comparisons.
+    pub fn draw_pm(&mut self) -> u16 {
+        (self.next_u64() % u64::from(PM_SCALE)) as u16
+    }
+}
+
+/// One xorshift64 step (Marsaglia's 13/7/17 triple).
+fn step(mut s: u64) -> u64 {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    s
+}
+
+/// Permanent death of one network context: after the fabric has observed
+/// `after` sends, context `context` of rank `rank` stops accepting traffic
+/// forever. Models a NIC port / endpoint failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KillSpec {
+    /// Victim rank.
+    pub rank: u32,
+    /// Victim context index within that rank.
+    pub context: usize,
+    /// Number of fabric sends observed before the kill fires.
+    pub after: u64,
+}
+
+/// A seeded description of everything that should go wrong on the fabric.
+///
+/// All probabilities are per-mille (`0..=1000`). The default plan injects
+/// nothing; builders switch individual fault classes on. The retry knobs
+/// (`timeout_ns`, `max_retries`) ride along so a single plan fully
+/// determines both the faults and the recovery policy reacting to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Per-mille probability a delivered packet is silently dropped.
+    pub drop_pm: u16,
+    /// Per-mille probability a delivered packet arrives twice.
+    pub dup_pm: u16,
+    /// Per-mille probability a packet is held back and released after a
+    /// later packet (reordering).
+    pub reorder_pm: u16,
+    /// Per-mille probability an injection attempt is transiently refused
+    /// (CQ-full / `ENOBUFS`); the sender must back off and retry.
+    pub refuse_pm: u16,
+    /// Per-mille probability a packet is delayed by `delay_ns`.
+    pub delay_pm: u16,
+    /// Extra latency applied to delayed packets.
+    pub delay_ns: u64,
+    /// Optional permanent context death.
+    pub kill: Option<KillSpec>,
+    /// Base retransmit timeout (real nanoseconds on the native path).
+    pub timeout_ns: u64,
+    /// Retransmit attempts before a send fails with `RetryExhausted`.
+    pub max_retries: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            drop_pm: 0,
+            dup_pm: 0,
+            reorder_pm: 0,
+            refuse_pm: 0,
+            delay_pm: 0,
+            delay_ns: 0,
+            kill: None,
+            timeout_ns: 200_000,
+            max_retries: 20,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled yet.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Set the drop probability (per-mille).
+    pub fn drop(mut self, pm: u16) -> Self {
+        self.drop_pm = pm.min(PM_SCALE);
+        self
+    }
+
+    /// Set the duplication probability (per-mille).
+    pub fn dup(mut self, pm: u16) -> Self {
+        self.dup_pm = pm.min(PM_SCALE);
+        self
+    }
+
+    /// Set the reorder probability (per-mille).
+    pub fn reorder(mut self, pm: u16) -> Self {
+        self.reorder_pm = pm.min(PM_SCALE);
+        self
+    }
+
+    /// Set the transient injection-refusal probability (per-mille).
+    pub fn refuse(mut self, pm: u16) -> Self {
+        self.refuse_pm = pm.min(PM_SCALE);
+        self
+    }
+
+    /// Set the delay probability (per-mille) and magnitude.
+    pub fn delay(mut self, pm: u16, ns: u64) -> Self {
+        self.delay_pm = pm.min(PM_SCALE);
+        self.delay_ns = ns;
+        self
+    }
+
+    /// Kill `context` of `rank` after `after` observed sends.
+    pub fn kill(mut self, rank: u32, context: usize, after: u64) -> Self {
+        self.kill = Some(KillSpec {
+            rank,
+            context,
+            after,
+        });
+        self
+    }
+
+    /// Override the base retransmit timeout.
+    pub fn timeout_ns(mut self, ns: u64) -> Self {
+        self.timeout_ns = ns.max(1);
+        self
+    }
+
+    /// Override the retry budget.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// True if the plan can actually perturb anything. Inert plans are
+    /// treated as "chaos off" so the happy path stays bit-identical.
+    pub fn is_active(&self) -> bool {
+        self.drop_pm > 0
+            || self.dup_pm > 0
+            || self.reorder_pm > 0
+            || self.refuse_pm > 0
+            || self.delay_pm > 0
+            || self.kill.is_some()
+    }
+
+    /// Build a plan from `FAIRMPI_CHAOS_*` environment keys, or `None` when
+    /// `FAIRMPI_CHAOS_SEED` is unset (chaos disabled).
+    ///
+    /// Keys: `FAIRMPI_CHAOS_SEED`, `FAIRMPI_CHAOS_DROP` / `_DUP` /
+    /// `_REORDER` / `_REFUSE` / `_DELAY` (per-mille), `FAIRMPI_CHAOS_DELAY_NS`,
+    /// `FAIRMPI_CHAOS_KILL` (`rank:context:after`),
+    /// `FAIRMPI_CHAOS_TIMEOUT_NS`, `FAIRMPI_CHAOS_RETRIES`.
+    pub fn from_env() -> Option<Self> {
+        let seed = env_u64("FAIRMPI_CHAOS_SEED")?;
+        let mut plan = Self::seeded(seed)
+            .drop(env_u64("FAIRMPI_CHAOS_DROP").unwrap_or(0) as u16)
+            .dup(env_u64("FAIRMPI_CHAOS_DUP").unwrap_or(0) as u16)
+            .reorder(env_u64("FAIRMPI_CHAOS_REORDER").unwrap_or(0) as u16)
+            .refuse(env_u64("FAIRMPI_CHAOS_REFUSE").unwrap_or(0) as u16);
+        if let Some(pm) = env_u64("FAIRMPI_CHAOS_DELAY") {
+            plan = plan.delay(
+                pm as u16,
+                env_u64("FAIRMPI_CHAOS_DELAY_NS").unwrap_or(10_000),
+            );
+        }
+        if let Some(spec) = std::env::var("FAIRMPI_CHAOS_KILL").ok().as_deref() {
+            let parts: Vec<u64> = spec.split(':').filter_map(|p| p.parse().ok()).collect();
+            assert_eq!(
+                parts.len(),
+                3,
+                "FAIRMPI_CHAOS_KILL must be rank:context:after, got {spec:?}"
+            );
+            plan = plan.kill(parts[0] as u32, parts[1] as usize, parts[2]);
+        }
+        if let Some(ns) = env_u64("FAIRMPI_CHAOS_TIMEOUT_NS") {
+            plan = plan.timeout_ns(ns);
+        }
+        if let Some(n) = env_u64("FAIRMPI_CHAOS_RETRIES") {
+            plan = plan.max_retries(n as u32);
+        }
+        Some(plan)
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{key} must be an unsigned integer, got {v:?}"))
+    })
+}
+
+/// What the wire decided to do with one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver normally.
+    Deliver,
+    /// Drop silently; only retransmission recovers it.
+    Drop,
+    /// Deliver twice; the receiver must suppress the duplicate.
+    Duplicate,
+    /// Hold back and release after a later packet.
+    Reorder,
+    /// Deliver after an extra delay of the given nanoseconds.
+    Delay(u64),
+}
+
+/// The thread-safe runtime of a [`FaultPlan`].
+///
+/// One xorshift state advanced with an atomic `fetch_update` serves all
+/// threads: on the single-threaded vsim path the schedule is exactly
+/// reproducible; on the native path the *set* of faults drawn is seeded but
+/// their assignment to packets depends on thread interleaving, which is the
+/// point — the recovery machinery must cope with any assignment.
+#[derive(Debug)]
+pub struct ChaosEngine {
+    plan: FaultPlan,
+    state: AtomicU64,
+    observed: AtomicU64,
+    kill_fired: AtomicBool,
+}
+
+impl ChaosEngine {
+    /// Build the engine for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            state: AtomicU64::new(if plan.seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                plan.seed
+            }),
+            observed: AtomicU64::new(0),
+            kill_fired: AtomicBool::new(false),
+        }
+    }
+
+    /// The plan this engine executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// One atomic per-mille draw shared by all threads.
+    fn draw_pm(&self) -> u16 {
+        let next = self
+            .state
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(step(s)))
+            .map(step)
+            .expect("fetch_update with Some never fails");
+        (next % u64::from(PM_SCALE)) as u16
+    }
+
+    /// Should this injection attempt be transiently refused (CQ-full)?
+    pub fn decide_refusal(&self) -> bool {
+        self.plan.refuse_pm > 0 && self.draw_pm() < self.plan.refuse_pm
+    }
+
+    /// What happens to one packet on the wire. Fault classes are bands of a
+    /// single draw, so their probabilities are exact and mutually exclusive.
+    pub fn decide_delivery(&self) -> Delivery {
+        let p = &self.plan;
+        let bands = p.drop_pm + p.dup_pm + p.reorder_pm + p.delay_pm;
+        if bands == 0 {
+            return Delivery::Deliver;
+        }
+        let r = self.draw_pm();
+        if r < p.drop_pm {
+            Delivery::Drop
+        } else if r < p.drop_pm + p.dup_pm {
+            Delivery::Duplicate
+        } else if r < p.drop_pm + p.dup_pm + p.reorder_pm {
+            Delivery::Reorder
+        } else if r < bands {
+            Delivery::Delay(p.delay_ns)
+        } else {
+            Delivery::Deliver
+        }
+    }
+
+    /// Record one observed fabric send and return the kill spec exactly
+    /// once, when the observation count crosses its trigger.
+    pub fn observe_send(&self) -> Option<KillSpec> {
+        let n = self.observed.fetch_add(1, Ordering::Relaxed) + 1;
+        let kill = self.plan.kill?;
+        if n > kill.after && !self.kill_fired.swap(true, Ordering::Relaxed) {
+            return Some(kill);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..1000 {
+            let v = a.next_u64();
+            assert_eq!(v, b.next_u64());
+            assert_ne!(v, 0, "xorshift must never reach the zero fixed point");
+        }
+        assert_ne!(
+            XorShift64::new(0).next_u64(),
+            0,
+            "zero seed must be remapped"
+        );
+    }
+
+    #[test]
+    fn draws_cover_the_pm_range() {
+        let mut rng = XorShift64::new(7);
+        let mut lo = u16::MAX;
+        let mut hi = 0;
+        for _ in 0..10_000 {
+            let d = rng.draw_pm();
+            assert!(d < PM_SCALE);
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        assert!(
+            lo < 50 && hi >= 950,
+            "draws should span 0..1000: {lo}..{hi}"
+        );
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::seeded(3);
+        assert!(!plan.is_active());
+        let engine = ChaosEngine::new(plan);
+        for _ in 0..100 {
+            assert_eq!(engine.decide_delivery(), Delivery::Deliver);
+            assert!(!engine.decide_refusal());
+        }
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let engine = ChaosEngine::new(FaultPlan::seeded(5).drop(1000));
+        for _ in 0..100 {
+            assert_eq!(engine.decide_delivery(), Delivery::Drop);
+        }
+    }
+
+    #[test]
+    fn bands_are_mutually_exclusive_and_roughly_proportional() {
+        let engine = ChaosEngine::new(FaultPlan::seeded(9).drop(100).dup(100).delay(100, 5_000));
+        let mut drops = 0;
+        let mut dups = 0;
+        let mut delays = 0;
+        let mut clean = 0;
+        for _ in 0..10_000 {
+            match engine.decide_delivery() {
+                Delivery::Drop => drops += 1,
+                Delivery::Duplicate => dups += 1,
+                Delivery::Delay(ns) => {
+                    assert_eq!(ns, 5_000);
+                    delays += 1;
+                }
+                Delivery::Reorder => panic!("reorder band is zero"),
+                Delivery::Deliver => clean += 1,
+            }
+        }
+        for count in [drops, dups, delays] {
+            assert!(
+                (500..2_000).contains(&count),
+                "a 10% band over 10k draws should land near 1000, got {count}"
+            );
+        }
+        assert!(clean > 6_000);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::seeded(0xFA17).drop(250).dup(250);
+        let a = ChaosEngine::new(plan);
+        let b = ChaosEngine::new(plan);
+        for _ in 0..1000 {
+            assert_eq!(a.decide_delivery(), b.decide_delivery());
+        }
+    }
+
+    #[test]
+    fn kill_fires_exactly_once_after_threshold() {
+        let engine = ChaosEngine::new(FaultPlan::seeded(1).kill(1, 0, 3));
+        let mut fired = Vec::new();
+        for i in 0..10 {
+            if let Some(k) = engine.observe_send() {
+                fired.push((i, k));
+            }
+        }
+        assert_eq!(fired.len(), 1, "kill must fire exactly once");
+        let (at, kill) = fired[0];
+        assert_eq!(at, 3, "kill fires on the first send past `after`");
+        assert_eq!((kill.rank, kill.context, kill.after), (1, 0, 3));
+        assert_eq!(ChaosEngine::new(FaultPlan::seeded(1)).observe_send(), None);
+    }
+
+    #[test]
+    fn env_round_trip() {
+        // Single test touches the environment: no intra-binary races.
+        assert_eq!(FaultPlan::from_env(), None, "no seed means chaos off");
+        std::env::set_var("FAIRMPI_CHAOS_SEED", "99");
+        std::env::set_var("FAIRMPI_CHAOS_DROP", "100");
+        std::env::set_var("FAIRMPI_CHAOS_KILL", "1:0:500");
+        std::env::set_var("FAIRMPI_CHAOS_RETRIES", "7");
+        let plan = FaultPlan::from_env().expect("seed set means chaos on");
+        std::env::remove_var("FAIRMPI_CHAOS_SEED");
+        std::env::remove_var("FAIRMPI_CHAOS_DROP");
+        std::env::remove_var("FAIRMPI_CHAOS_KILL");
+        std::env::remove_var("FAIRMPI_CHAOS_RETRIES");
+        assert_eq!(plan.seed, 99);
+        assert_eq!(plan.drop_pm, 100);
+        assert_eq!(
+            plan.kill,
+            Some(KillSpec {
+                rank: 1,
+                context: 0,
+                after: 500
+            })
+        );
+        assert_eq!(plan.max_retries, 7);
+        assert!(plan.is_active());
+    }
+}

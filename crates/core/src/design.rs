@@ -1,5 +1,6 @@
 //! The design space of the study: every axis the paper varies.
 
+pub use fairmpi_chaos::FaultPlan;
 pub use fairmpi_cri::Assignment;
 pub use fairmpi_progress::ProgressMode;
 
@@ -41,6 +42,18 @@ pub enum ThreadLevel {
     Multiple,
 }
 
+/// What happens when an operation fails irrecoverably (retry budget
+/// exhausted, every instance dead) — the MPI error-handler axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorHandler {
+    /// `MPI_ERRORS_RETURN`: the failed request's `wait` returns the error
+    /// and the rest of the world keeps running.
+    ErrorsReturn,
+    /// `MPI_ERRORS_ARE_FATAL`: the first irrecoverable failure panics the
+    /// observing thread (the closest in-process analog of aborting the job).
+    ErrorsAreFatal,
+}
+
 /// The complete internal design configuration of one [`crate::World`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DesignConfig {
@@ -66,6 +79,13 @@ pub struct DesignConfig {
     /// descriptor on a lock-free command queue instead of touching the CRI
     /// and matching locks.
     pub offload_workers: usize,
+    /// Optional deterministic fault plan. `None` (the default) leaves the
+    /// fabric a perfect wire and the reliability layer entirely unbuilt —
+    /// the happy path is bit-identical to a chaos-free build. A world also
+    /// picks up a plan from `FAIRMPI_CHAOS_*` env keys when this is unset.
+    pub chaos: Option<FaultPlan>,
+    /// Error-handler semantics for irrecoverable transport failures.
+    pub error_handler: ErrorHandler,
 }
 
 impl Default for DesignConfig {
@@ -82,6 +102,8 @@ impl Default for DesignConfig {
             allow_overtaking: false,
             thread_level: ThreadLevel::Multiple,
             offload_workers: 0,
+            chaos: None,
+            error_handler: ErrorHandler::ErrorsReturn,
         }
     }
 }
@@ -97,6 +119,18 @@ impl DesignConfig {
             progress: ProgressMode::Concurrent,
             ..Self::default()
         }
+    }
+
+    /// Arm a deterministic fault plan on worlds built from this config.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Select the error-handler semantics for irrecoverable failures.
+    pub fn error_handler(mut self, handler: ErrorHandler) -> Self {
+        self.error_handler = handler;
+        self
     }
 
     /// The software-offload design point: `workers` dedicated communication
@@ -230,6 +264,24 @@ mod tests {
         assert_eq!(d.matching, MatchMode::PerCommunicator);
         assert_eq!(d.lock_model, LockModel::PerInstance);
         assert!(!d.allow_overtaking);
+        assert_eq!(d.chaos, None, "no fault plan by default");
+        assert_eq!(d.error_handler, ErrorHandler::ErrorsReturn);
+    }
+
+    #[test]
+    fn chaos_builder_arms_a_plan() {
+        let plan = FaultPlan::seeded(7).drop(100);
+        let d = DesignConfig::proposed(2)
+            .chaos(plan)
+            .error_handler(ErrorHandler::ErrorsAreFatal);
+        assert_eq!(d.chaos, Some(plan));
+        assert_eq!(d.error_handler, ErrorHandler::ErrorsAreFatal);
+        // The plan rides along through preset-style struct updates.
+        let d2 = DesignConfig {
+            chaos: Some(plan),
+            ..DesignConfig::default()
+        };
+        assert_eq!(d2.chaos, Some(plan));
     }
 
     #[test]

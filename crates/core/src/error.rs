@@ -36,6 +36,16 @@ pub enum MpiError {
     InvalidWindow(u64),
     /// An RMA op on a misaligned offset for a typed atomic operation.
     MisalignedAtomic(usize),
+    /// A send exhausted its retransmit budget without an acknowledgment —
+    /// the fault plan degraded the wire beyond what retry/backoff can
+    /// recover (`MPI_ERR_OTHER` territory; no exact MPI class exists).
+    RetryExhausted {
+        /// Retransmit attempts made before giving up.
+        attempts: u32,
+    },
+    /// Every communication instance of the rank is permanently dead; the
+    /// operation could not be injected at all.
+    InstanceFailed,
 }
 
 impl fmt::Display for MpiError {
@@ -66,6 +76,13 @@ impl fmt::Display for MpiError {
             MpiError::MisalignedAtomic(off) => {
                 write!(f, "atomic RMA op at misaligned offset {off}")
             }
+            MpiError::RetryExhausted { attempts } => write!(
+                f,
+                "send abandoned after {attempts} retransmit attempts without acknowledgment"
+            ),
+            MpiError::InstanceFailed => {
+                write!(f, "all communication instances of this rank have failed")
+            }
         }
     }
 }
@@ -94,5 +111,70 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(MpiError::Cancelled, MpiError::Cancelled);
         assert_ne!(MpiError::InvalidRank(0), MpiError::InvalidRank(1));
+    }
+
+    /// Every variant's `Display` output, asserted exactly. The closure at
+    /// the bottom matches without a wildcard, so adding a variant fails to
+    /// compile until its expected message is added here too.
+    #[test]
+    fn display_covers_every_variant_exactly() {
+        let cases: Vec<(MpiError, &str)> = vec![
+            (MpiError::InvalidRank(-3), "invalid rank -3"),
+            (
+                MpiError::InvalidTag(-7),
+                "invalid tag -7 (user tags must be >= 0)",
+            ),
+            (MpiError::InvalidComm(9), "invalid communicator id 9"),
+            (
+                MpiError::Truncated {
+                    message_len: 100,
+                    capacity: 10,
+                },
+                "message of 100 bytes truncated by 10-byte receive",
+            ),
+            (MpiError::InvalidRequest(42), "invalid request token 42"),
+            (MpiError::Cancelled, "request was cancelled"),
+            (
+                MpiError::WindowOutOfRange {
+                    offset: 8,
+                    len: 16,
+                    window_len: 12,
+                },
+                "RMA access [8, 24) outside window of 12 bytes",
+            ),
+            (MpiError::InvalidWindow(5), "invalid window id 5"),
+            (
+                MpiError::MisalignedAtomic(3),
+                "atomic RMA op at misaligned offset 3",
+            ),
+            (
+                MpiError::RetryExhausted { attempts: 20 },
+                "send abandoned after 20 retransmit attempts without acknowledgment",
+            ),
+            (
+                MpiError::InstanceFailed,
+                "all communication instances of this rank have failed",
+            ),
+        ];
+        for (err, expected) in &cases {
+            assert_eq!(&err.to_string(), expected, "wrong Display for {err:?}");
+        }
+        // Compile-time completeness: no wildcard arm, so a new variant
+        // cannot ship without extending both this match and `cases`.
+        let covered = |e: &MpiError| match e {
+            MpiError::InvalidRank(_)
+            | MpiError::InvalidTag(_)
+            | MpiError::InvalidComm(_)
+            | MpiError::Truncated { .. }
+            | MpiError::InvalidRequest(_)
+            | MpiError::Cancelled
+            | MpiError::WindowOutOfRange { .. }
+            | MpiError::InvalidWindow(_)
+            | MpiError::MisalignedAtomic(_)
+            | MpiError::RetryExhausted { .. }
+            | MpiError::InstanceFailed => (),
+        };
+        assert_eq!(cases.len(), 11, "one case per variant");
+        cases.iter().for_each(|(e, _)| covered(e));
     }
 }

@@ -1,13 +1,18 @@
 //! The runtime's progress callbacks: what happens to extracted packets and
 //! completion events.
 
+use std::time::Instant;
+
 use fairmpi_fabric::{Completion, CompletionKind, Envelope, Packet, PacketKind, Rank};
 use fairmpi_matching::MatchEvent;
 use fairmpi_progress::ProgressHandler;
 use fairmpi_spc::Counter;
+use fairmpi_trace as trace;
 
+use crate::design::ErrorHandler;
 use crate::error::MpiError;
 use crate::proc::ProcState;
+use crate::reliability::PendingFrame;
 use crate::request::Message;
 use crate::rma::WindowId;
 
@@ -15,10 +20,148 @@ impl ProcState {
     /// Inject a packet on an instance chosen by the configured assignment.
     /// Does *not* take the big lock: callers on the progress path already
     /// hold it, callers on the API path take it around the whole call.
-    pub(crate) fn send_packet(&self, packet: Packet, token: u64) {
-        let k = self.pool.instance_id(self.design.assignment);
+    ///
+    /// Without a fault plan this is the whole story: inject and post the
+    /// local `SendDone`. With one, the packet is first registered with the
+    /// reliability layer (assigning its transport sequence number) and its
+    /// completion is deferred to the receiver's ack; injection may also be
+    /// transiently refused (the CQ-full analog), in which case the frame
+    /// just waits for the retransmit tick to carry it.
+    pub(crate) fn send_packet(&self, mut packet: Packet, token: u64) {
+        let Some(rel) = &self.reliability else {
+            let k = self.pool.instance_id(self.design.assignment);
+            let guard = self.pool.instance(k).lock(&self.spc);
+            guard.send(&self.fabric, packet, token, &self.spc);
+            return;
+        };
+        rel.register(&mut packet, token);
+        if self.fabric.chaos().is_some_and(|c| c.decide_refusal()) {
+            self.spc.inc(Counter::ChaosRefusals);
+            trace::instant("chaos.refusal");
+            rel.expire_now(packet.envelope.dst, packet.tseq);
+            return;
+        }
+        if let Err(err) = self.inject_frame(&packet, true) {
+            if let Some(frame) = rel.retire(packet.envelope.dst, packet.tseq) {
+                self.fail_frame(&frame, err);
+            }
+        }
+    }
+
+    /// Put one reliability frame on the wire via a *living* instance.
+    /// `Err(InstanceFailed)` means every instance of this rank is dead.
+    fn inject_frame(&self, packet: &Packet, first_attempt: bool) -> crate::error::Result<()> {
+        let k = self
+            .pool
+            .alive_instance_id(self.design.assignment)
+            .ok_or(MpiError::InstanceFailed)?;
         let guard = self.pool.instance(k).lock(&self.spc);
-        guard.send(&self.fabric, packet, token, &self.spc);
+        guard.send_frame(&self.fabric, packet.clone(), first_attempt, &self.spc);
+        Ok(())
+    }
+
+    /// One pass of the retransmit machinery: re-inject every frame past its
+    /// deadline, fail every frame past its retry budget. Returns the number
+    /// of user-visible completions produced (failed requests count — the
+    /// caller's wait unblocks).
+    pub(crate) fn reliability_tick(&self) -> usize {
+        let Some(rel) = &self.reliability else {
+            return 0;
+        };
+        let work = rel.tick(Instant::now());
+        if work.backoff_ns > 0 {
+            self.spc.add(Counter::RetryBackoffNanos, work.backoff_ns);
+        }
+        let mut count = 0;
+        for packet in work.retransmit {
+            self.spc.inc(Counter::Retransmits);
+            trace::instant("reliability.retransmit");
+            let _big = self.maybe_big_lock();
+            if let Err(err) = self.inject_frame(&packet, false) {
+                if let Some(frame) = rel.retire(packet.envelope.dst, packet.tseq) {
+                    self.fail_frame(&frame, err);
+                    count += 1;
+                }
+            }
+        }
+        for frame in work.exhausted {
+            self.fail_frame(
+                &frame,
+                MpiError::RetryExhausted {
+                    attempts: frame.attempts,
+                },
+            );
+            count += 1;
+        }
+        count
+    }
+
+    /// Surface a permanently undeliverable frame through the error-handler
+    /// machinery: fail the user request it carried (`MPI_ERRORS_RETURN`) or
+    /// abort the rank (`MPI_ERRORS_ARE_FATAL`).
+    fn fail_frame(&self, frame: &PendingFrame, err: MpiError) {
+        if self.design.error_handler == ErrorHandler::ErrorsAreFatal {
+            panic!("fatal MPI error on rank {}: {err}", self.rank);
+        }
+        // Control frames carry their request token inside the kind, not in
+        // the completion-queue slot: an RTS that dies must fail the *send*,
+        // a CTS that dies must fail the *receive* that granted it.
+        let token = match frame.packet.kind {
+            PacketKind::RendezvousRts { sender_token, .. } => sender_token,
+            PacketKind::RendezvousCts { receiver_token, .. } => receiver_token,
+            _ => frame.cq_token,
+        };
+        if token == 0 {
+            return;
+        }
+        if let Some(req) = self.requests.get(token) {
+            req.fail(err);
+        }
+    }
+
+    /// An ack arrived: retire the frame and complete the send request it
+    /// carried. Control frames (RTS/CTS) complete nothing — their user
+    /// requests finish through the protocol, the ack only stops retransmit.
+    fn handle_ack(&self, peer: Rank, tseq: u64) -> usize {
+        let Some(rel) = &self.reliability else {
+            return 0;
+        };
+        let Some(frame) = rel.retire(peer, tseq) else {
+            return 0; // duplicate ack, or the frame already failed locally
+        };
+        let token = match frame.packet.kind {
+            PacketKind::RendezvousRts { .. } | PacketKind::RendezvousCts { .. } => 0,
+            _ => frame.cq_token,
+        };
+        if token == 0 {
+            return 0;
+        }
+        let Some(req) = self.requests.get(token) else {
+            return 0;
+        };
+        req.complete_send();
+        1
+    }
+
+    /// Acknowledge receipt of transport sequence `tseq` back to `src`.
+    /// Fire-and-forget: unsequenced, never retransmitted (the peer's
+    /// retransmit of the original frame triggers a fresh ack), and charged
+    /// to no message counter.
+    fn send_ack(&self, dst: Rank, tseq: u64) {
+        let ack = Packet::with_kind(
+            Envelope {
+                src: self.rank,
+                dst,
+                comm: 0,
+                tag: 0,
+                seq: 0,
+            },
+            PacketKind::Ack { tseq },
+            Vec::new(),
+        );
+        // All-instances-dead is ignorable here: the peer keeps retransmitting
+        // and eventually fails the frame itself.
+        let _ = self.inject_frame(&ack, false);
     }
 
     /// Route a matchable packet (eager or rendezvous-RTS) through the
@@ -67,20 +210,20 @@ impl ProcState {
                 // Grant the transfer: CTS back to the sender, echoing the
                 // user tag so the DATA packet can reconstruct the message
                 // identity for the receiver.
-                let cts = Packet {
-                    envelope: Envelope {
+                let cts = Packet::with_kind(
+                    Envelope {
                         src: self.rank,
                         dst: env.src,
                         comm: env.comm,
                         tag: env.tag,
                         seq: 0,
                     },
-                    kind: PacketKind::RendezvousCts {
+                    PacketKind::RendezvousCts {
                         sender_token,
                         receiver_token: ev.token,
                     },
-                    payload: Vec::new(),
-                };
+                    Vec::new(),
+                );
                 self.send_packet(cts, 0);
                 // Not yet a user-visible completion.
                 0
@@ -99,17 +242,17 @@ impl ProcState {
             return 0;
         };
         let payload = req.stash.lock().take().unwrap_or_default();
-        let data = Packet {
-            envelope: Envelope {
+        let data = Packet::with_kind(
+            Envelope {
                 src: self.rank,
                 dst: env.src,
                 comm: env.comm,
                 tag: env.tag,
                 seq: 0,
             },
-            kind: PacketKind::RendezvousData { receiver_token },
+            PacketKind::RendezvousData { receiver_token },
             payload,
-        };
+        );
         // The DATA packet's send completion carries the sender's token, so
         // draining it completes the user's send request.
         self.send_packet(data, sender_token);
@@ -143,6 +286,23 @@ impl ProcState {
 
 impl ProgressHandler for ProcState {
     fn on_packet(&self, packet: Packet) -> usize {
+        if let Some(rel) = &self.reliability {
+            if let PacketKind::Ack { tseq } = packet.kind {
+                return self.handle_ack(packet.envelope.src, tseq);
+            }
+            if packet.tseq != 0 {
+                let fresh = rel.accept(packet.envelope.src, packet.tseq);
+                // Always (re-)ack — a duplicate usually means our previous
+                // ack was lost, and silence would strand the sender in
+                // retransmit until its budget runs out.
+                self.send_ack(packet.envelope.src, packet.tseq);
+                if !fresh {
+                    self.spc.inc(Counter::DuplicatesSuppressed);
+                    trace::instant("reliability.duplicate_suppressed");
+                    return 0;
+                }
+            }
+        }
         match packet.kind {
             PacketKind::Eager | PacketKind::RendezvousRts { .. } => self.handle_matchable(packet),
             PacketKind::RendezvousCts {
@@ -152,6 +312,9 @@ impl ProgressHandler for ProcState {
             PacketKind::RendezvousData { receiver_token } => {
                 self.handle_rendezvous_data(receiver_token, packet)
             }
+            // Without a fault plan nothing emits acks; with one they were
+            // intercepted above.
+            PacketKind::Ack { .. } => 0,
         }
     }
 

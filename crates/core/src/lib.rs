@@ -54,6 +54,7 @@ mod handler;
 mod offload;
 mod p2p;
 mod proc;
+mod reliability;
 mod request;
 mod rma;
 pub mod tuning;
@@ -65,7 +66,8 @@ mod tests;
 pub use collectives::ReduceOp;
 pub use comm::Communicator;
 pub use design::{
-    Assignment, DesignConfig, DesignPreset, LockModel, MatchMode, ProgressMode, ThreadLevel,
+    Assignment, DesignConfig, DesignPreset, ErrorHandler, LockModel, MatchMode, ProgressMode,
+    ThreadLevel,
 };
 pub use error::{MpiError, Result};
 pub use proc::Proc;
@@ -74,6 +76,7 @@ pub use rma::{AccumulateOp, EpochGuard, Window, WindowId};
 pub use world::{World, WorldBuilder};
 
 // Re-export the vocabulary types users need.
+pub use fairmpi_chaos::{FaultPlan, KillSpec};
 pub use fairmpi_fabric::{CommId, FabricConfig, MachineKind, Rank, Tag, ANY_SOURCE, ANY_TAG};
 pub use fairmpi_offload::{Backpressure, OffloadConfig};
 pub use fairmpi_spc::{Counter, SpcSet, SpcSnapshot};

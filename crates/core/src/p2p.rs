@@ -85,14 +85,14 @@ impl Proc {
             (Packet::eager(envelope, buf.to_vec()), req.token)
         } else {
             st.spc.inc(Counter::RendezvousSends);
-            let rts = Packet {
+            let rts = Packet::with_kind(
                 envelope,
-                kind: PacketKind::RendezvousRts {
+                PacketKind::RendezvousRts {
                     len: buf.len(),
                     sender_token: req.token,
                 },
-                payload: Vec::new(),
-            };
+                Vec::new(),
+            );
             (rts, 0)
         };
 

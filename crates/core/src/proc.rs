@@ -14,6 +14,7 @@ use crate::comm::CommState;
 use crate::design::{DesignConfig, LockModel, MatchMode};
 use crate::error::{MpiError, Result};
 use crate::offload::OffloadRuntime;
+use crate::reliability::{Reliability, Watchdog};
 use crate::request::RequestTable;
 use crate::rma::{AccumulateOp, Window, WindowId, WindowRegistry, WindowState};
 
@@ -68,6 +69,12 @@ impl Proc {
         self.state.requests.len()
     }
 
+    /// Number of reliability frames this rank has on the wire awaiting
+    /// acknowledgment. Always 0 when no fault plan is armed.
+    pub fn in_flight_frames(&self) -> usize {
+        self.state.reliability.as_ref().map_or(0, |r| r.in_flight())
+    }
+
     /// Resolve a window id into a handle bound to this rank.
     pub fn window(&self, id: WindowId) -> Result<Window> {
         let state = self.state.windows.get(id)?;
@@ -105,6 +112,11 @@ pub(crate) struct ProcState {
     /// `offload_workers > 0` (the engine's workers hold an `Arc` back to
     /// this state, so it outlives them; `World::drop` runs the shutdown).
     pub(crate) offload: OnceLock<OffloadRuntime>,
+    /// Ack/retransmit state, present exactly when the design armed a fault
+    /// plan. `None` keeps the chaos-free send path bit-identical.
+    pub(crate) reliability: Option<Reliability>,
+    /// Progress stall detector, armed with the fault plan.
+    pub(crate) watchdog: Option<Watchdog>,
 }
 
 impl ProcState {
@@ -141,6 +153,8 @@ impl ProcState {
             big_lock: Mutex::new(()),
             windows,
             offload: OnceLock::new(),
+            reliability: design.chaos.map(|plan| Reliability::new(plan, num_ranks)),
+            watchdog: design.chaos.map(|_| Watchdog::new()),
         });
         if design.offload_workers > 0 {
             let config = crate::offload::offload_config_from_env(design.offload_workers);
@@ -207,8 +221,19 @@ impl ProcState {
     /// [`ProcState::progress_once`], which keeps them off the engine while
     /// offload is active.
     pub(crate) fn progress_engine(&self) -> usize {
-        let _big = self.maybe_big_lock();
-        self.engine.progress(self.design.assignment, self)
+        let mut count = {
+            let _big = self.maybe_big_lock();
+            self.engine.progress(self.design.assignment, self)
+        };
+        if self.reliability.is_some() {
+            // Outside the big lock: the tick re-takes it per retransmit, and
+            // a fatal error handler may panic out of it.
+            count += self.reliability_tick();
+            if let Some(w) = &self.watchdog {
+                w.observe(count > 0, &self.spc);
+            }
+        }
+        count
     }
 
     /// One progress pass under the configured design. A no-op while offload

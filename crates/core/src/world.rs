@@ -61,15 +61,27 @@ impl WorldBuilder {
     /// Construct the world: fabric, per-rank pools/engines, and
     /// `COMM_WORLD` (communicator id 0).
     pub fn build(self) -> World {
-        let contexts = self.fabric.clamp_contexts(self.design.num_instances);
+        let mut design = self.design;
+        // The fault plan comes from the design builder or, failing that,
+        // the `FAIRMPI_CHAOS_*` environment; inert plans are treated as
+        // chaos-off so the happy path stays bit-identical. The resolved
+        // plan lives in the design — single source of truth downstream.
+        design.chaos = design
+            .chaos
+            .or_else(fairmpi_chaos::FaultPlan::from_env)
+            .filter(|p| p.is_active());
+        let contexts = self.fabric.clamp_contexts(design.num_instances);
         let fabric = Arc::new(Fabric::new(self.ranks, contexts, self.fabric));
+        if let Some(plan) = design.chaos {
+            fabric.enable_chaos(plan);
+        }
         let windows = Arc::new(WindowRegistry::default());
         let procs: Vec<Arc<ProcState>> = (0..self.ranks)
             .map(|r| {
                 ProcState::new(
                     r as Rank,
                     self.ranks,
-                    self.design,
+                    design,
                     Arc::clone(&fabric),
                     Arc::clone(&windows),
                 )
@@ -77,13 +89,13 @@ impl WorldBuilder {
             .collect();
         let world = World {
             fabric,
-            design: self.design,
+            design,
             procs,
             next_comm: AtomicU32::new(0),
             windows,
         };
         // COMM_WORLD.
-        world.new_comm_with(self.design.allow_overtaking);
+        world.new_comm_with(design.allow_overtaking);
         world
     }
 }

@@ -55,6 +55,12 @@ impl Cri {
         self.context.has_work()
     }
 
+    /// Whether the bundled context still works (the fault plan may have
+    /// permanently killed it).
+    pub fn is_alive(&self) -> bool {
+        self.context.is_alive()
+    }
+
     /// Acquire the instance, blocking on contention (paper Algorithm 1's
     /// `LOCK(instance[k] → lock)`).
     pub fn lock<'a>(&'a self, spc: &SpcSet) -> CriGuard<'a> {
@@ -165,6 +171,27 @@ impl<'a> CriGuard<'a> {
             token,
             kind: CompletionKind::SendDone,
         });
+    }
+
+    /// Inject one reliability-layer frame through the armed fault plan.
+    ///
+    /// Charges injection occupancy like [`CriGuard::send`] but reports no
+    /// local `SendDone` and tracks no pending op — under a fault plan the
+    /// sender's request is completed by the receiver's ack, not by local
+    /// injection. Message-volume counters are charged on the first attempt
+    /// only, so retransmits never inflate the workload's message count.
+    pub fn send_frame(&self, fabric: &Fabric, packet: Packet, first_attempt: bool, spc: &SpcSet) {
+        let cfg = fabric.config();
+        let wire_len = packet.wire_len(cfg.envelope_bytes);
+        busy_wait_ns(
+            cfg.injection_overhead_ns
+                .max(cfg.serialization_time_ns(packet.payload.len())),
+        );
+        if first_attempt {
+            spc.inc(Counter::MessagesSent);
+            spc.add(Counter::BytesSent, wire_len as u64);
+        }
+        fabric.deliver_observed(packet, self.cri.index, spc);
     }
 
     /// Report a locally generated completion (e.g. an RMA op that finished

@@ -2,7 +2,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use fairmpi_fabric::{Fabric, Rank};
@@ -40,6 +40,9 @@ pub struct CriPool {
     rank: Rank,
     instances: Vec<Arc<Cri>>,
     round_robin: AtomicUsize,
+    /// One flag per instance so a permanent death is counted as exactly one
+    /// `cri_failovers` event no matter how many threads hit the corpse.
+    failed_over: Vec<AtomicBool>,
     spc: Arc<SpcSet>,
 }
 
@@ -53,14 +56,18 @@ impl CriPool {
     pub fn new(fabric: &Fabric, rank: Rank, num_instances: usize, spc: Arc<SpcSet>) -> Self {
         let available = fabric.num_contexts(rank);
         let n = num_instances.clamp(1, available);
-        let instances = (0..n)
+        let instances: Vec<_> = (0..n)
             .map(|i| Arc::new(Cri::new(i, Arc::clone(fabric.context(rank, i)))))
+            .collect();
+        let failed_over = (0..instances.len())
+            .map(|_| AtomicBool::new(false))
             .collect();
         Self {
             pool_id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
             rank,
             instances,
             round_robin: AtomicUsize::new(0),
+            failed_over,
             spc,
         }
     }
@@ -126,6 +133,40 @@ impl CriPool {
             Assignment::RoundRobin => self.round_robin_id(),
             Assignment::Dedicated => self.dedicated_id(),
         }
+    }
+
+    /// `GET-INSTANCE-ID` with failover — the robustness extension of
+    /// Algorithm 1. When the selected instance has been permanently killed,
+    /// the corpse is quarantined (counted once as `cri_failovers`), a
+    /// dedicated thread's binding is moved to a survivor, and the call
+    /// falls back to scanning for the next living instance. Returns `None`
+    /// only when every instance of the rank is dead — the caller surfaces
+    /// that as `InstanceFailed`.
+    pub fn alive_instance_id(&self, assignment: Assignment) -> Option<usize> {
+        let id = self.instance_id(assignment);
+        if self.instances[id].is_alive() {
+            return Some(id);
+        }
+        if !self.failed_over[id].swap(true, Ordering::Relaxed) {
+            self.spc.inc(Counter::CriFailovers);
+        }
+        let n = self.instances.len();
+        let survivor = (1..n)
+            .map(|step| (id + step) % n)
+            .find(|&k| self.instances[k].is_alive())?;
+        if assignment == Assignment::Dedicated {
+            // Rebind the thread-local assignment so later calls go straight
+            // to the survivor instead of re-tripping over the corpse.
+            DEDICATED.with(|map| {
+                map.borrow_mut().insert(self.pool_id, survivor);
+            });
+        }
+        Some(survivor)
+    }
+
+    /// True while at least one instance still works.
+    pub fn any_alive(&self) -> bool {
+        self.instances.iter().any(|c| c.is_alive())
     }
 
     /// Drop this thread's dedicated binding for this pool, as when the user

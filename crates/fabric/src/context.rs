@@ -56,6 +56,8 @@ pub struct NetworkContext {
     rx_watermark: WatermarkCell,
     /// Debug-only guard flagging a drain in progress.
     draining: AtomicBool,
+    /// False once the fault plan has permanently killed this context.
+    alive: AtomicBool,
 }
 
 impl NetworkContext {
@@ -69,6 +71,7 @@ impl NetworkContext {
             pending_watermark: WatermarkCell::new(),
             rx_watermark: WatermarkCell::new(),
             draining: AtomicBool::new(false),
+            alive: AtomicBool::new(true),
         }
     }
 
@@ -83,10 +86,25 @@ impl NetworkContext {
     }
 
     /// Deposit an incoming packet (called by the wire / remote endpoints;
-    /// safe from any thread).
+    /// safe from any thread). A dead context silently discards traffic,
+    /// exactly like a failed NIC port — recovery is the sender's problem.
     pub fn post_rx(&self, packet: Packet) {
+        if !self.is_alive() {
+            return;
+        }
         self.rx.push(packet);
         self.rx_watermark.record(self.rx.len() as u64);
+    }
+
+    /// Permanently kill this context (fault injection). Irreversible: all
+    /// later deliveries are discarded and the progress engine skips it.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Whether the context still accepts and reports traffic.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
     }
 
     /// Deposit a local completion event.
@@ -244,6 +262,23 @@ mod tests {
         // Sampled at injections only: 1, 2, then back up to 2.
         assert_eq!(ctx.pending_watermark().high(), 2);
         assert_eq!(ctx.pending_watermark().low(), 1);
+    }
+
+    #[test]
+    fn dead_context_discards_deliveries() {
+        let ctx = NetworkContext::new(0, 0);
+        assert!(ctx.is_alive());
+        ctx.post_rx(packet(0));
+        ctx.kill();
+        assert!(!ctx.is_alive());
+        ctx.post_rx(packet(1));
+        let mut drain = ctx.begin_drain();
+        assert_eq!(
+            drain.pop_rx().unwrap().envelope.seq,
+            0,
+            "pre-death traffic is still drainable"
+        );
+        assert!(drain.pop_rx().is_none(), "post-death traffic is discarded");
     }
 
     #[test]

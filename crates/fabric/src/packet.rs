@@ -79,6 +79,14 @@ pub enum PacketKind {
         /// The receiver token from the CTS.
         receiver_token: u64,
     },
+    /// Reliability acknowledgment: the receiver confirms it accepted the
+    /// packet the sender transmitted as transport sequence `tseq`. Only
+    /// present when a fault plan is active; acks are themselves unsequenced
+    /// and fire-and-forget (a lost ack is repaired by retransmit + re-ack).
+    Ack {
+        /// The transport sequence number being acknowledged.
+        tseq: u64,
+    },
 }
 
 /// A packet in flight on the simulated wire.
@@ -90,15 +98,26 @@ pub struct Packet {
     pub kind: PacketKind,
     /// Payload bytes (empty for 0-byte messages and control packets).
     pub payload: Vec<u8>,
+    /// Transport-level sequence number assigned by the reliability layer
+    /// when a fault plan is active. `0` means unsequenced: chaos is off, or
+    /// the packet is itself a control frame (an [`PacketKind::Ack`]). The
+    /// dedup key at the receiver is `(envelope.src, tseq)`.
+    pub tseq: u64,
 }
 
 impl Packet {
     /// Build an eager packet.
     pub fn eager(envelope: Envelope, payload: Vec<u8>) -> Self {
+        Self::with_kind(envelope, PacketKind::Eager, payload)
+    }
+
+    /// Build an unsequenced packet of any kind.
+    pub fn with_kind(envelope: Envelope, kind: PacketKind, payload: Vec<u8>) -> Self {
         Self {
             envelope,
-            kind: PacketKind::Eager,
+            kind,
             payload,
+            tseq: 0,
         }
     }
 
@@ -143,29 +162,31 @@ mod tests {
     fn matching_requirement_by_kind() {
         let e = envelope();
         assert!(Packet::eager(e, vec![]).needs_matching());
-        let rts = Packet {
-            envelope: e,
-            kind: PacketKind::RendezvousRts {
+        let rts = Packet::with_kind(
+            e,
+            PacketKind::RendezvousRts {
                 len: 1 << 20,
                 sender_token: 1,
             },
-            payload: vec![],
-        };
+            vec![],
+        );
         assert!(rts.needs_matching());
-        let cts = Packet {
-            envelope: e,
-            kind: PacketKind::RendezvousCts {
+        let cts = Packet::with_kind(
+            e,
+            PacketKind::RendezvousCts {
                 sender_token: 1,
                 receiver_token: 2,
             },
-            payload: vec![],
-        };
+            vec![],
+        );
         assert!(!cts.needs_matching());
-        let data = Packet {
-            envelope: e,
-            kind: PacketKind::RendezvousData { receiver_token: 2 },
-            payload: vec![1, 2, 3],
-        };
+        let data = Packet::with_kind(
+            e,
+            PacketKind::RendezvousData { receiver_token: 2 },
+            vec![1, 2, 3],
+        );
         assert!(!data.needs_matching());
+        let ack = Packet::with_kind(e, PacketKind::Ack { tseq: 5 }, vec![]);
+        assert!(!ack.needs_matching(), "acks bypass the matching engine");
     }
 }

@@ -29,7 +29,7 @@ pub struct PvarRegistry {
 fn counter_info(c: Counter) -> PvarInfo {
     // MatchTimeNanos accumulates nanoseconds, not events: TIMER class,
     // exactly like OMPI exposes OMPI_SPC_MATCH_TIME.
-    let class = if c == Counter::MatchTimeNanos {
+    let class = if c == Counter::MatchTimeNanos || c == Counter::RetryBackoffNanos {
         PvarClass::Timer
     } else {
         PvarClass::Counter
@@ -85,6 +85,15 @@ fn counter_desc(c: Counter) -> &'static str {
         Counter::OffloadBackpressureStalls => {
             "enqueue attempts stalled or rejected by a full offload command queue"
         }
+        Counter::ChaosDrops => "packets dropped on the wire by the active fault plan",
+        Counter::ChaosDups => "packets duplicated on the wire by the active fault plan",
+        Counter::ChaosReorders => "packets held back past a later packet by the fault plan",
+        Counter::ChaosRefusals => "injection attempts transiently refused by the fault plan",
+        Counter::Retransmits => "frames re-injected after an acknowledgment timeout",
+        Counter::RetryBackoffNanos => "nanoseconds of exponential backoff between retransmits",
+        Counter::DuplicatesSuppressed => "already-delivered frames discarded by receiver dedup",
+        Counter::CriFailovers => "dead instances quarantined with pending frames re-queued",
+        Counter::WatchdogTrips => "stall-watchdog firings while recovery made no progress",
     }
 }
 

@@ -235,6 +235,11 @@ pub fn run_virtual(cfg: &MultirateConfig, machine: &Machine, seed: u64) -> Multi
         process_mode: matches!(cfg.mode, Mode::Processes),
         // run_hooked zeroes this itself for process-mode runs.
         offload_workers: cfg.design.offload_workers,
+        // The virtual-time wire models the plan's drop/dup axes; the
+        // other axes (reorder, refusal, context death) are native-only.
+        chaos_drop_pm: cfg.design.chaos.as_ref().map_or(0, |p| p.drop_pm),
+        chaos_dup_pm: cfg.design.chaos.as_ref().map_or(0, |p| p.dup_pm),
+        chaos_seed: cfg.design.chaos.as_ref().map_or(0, |p| p.seed),
     };
     MultirateSim {
         machine: machine.clone(),

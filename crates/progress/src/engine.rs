@@ -143,6 +143,12 @@ impl ProgressEngine {
     /// Try-lock one instance, extract up to the drain budget (charging
     /// extraction overhead under the lock), release, then handle the items.
     fn drain_one<H: ProgressHandler>(&self, cri: &Arc<Cri>, handler: &H) -> usize {
+        if !cri.is_alive() {
+            // Quarantined by the fault plan: its CQ reports nothing ever
+            // again, so polling it would only burn the progress budget
+            // (the Algorithm 2 extension for failed CQs).
+            return 0;
+        }
         let spc = self.pool.spc();
         let mut items: Vec<Drained> = Vec::new();
         {

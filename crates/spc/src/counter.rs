@@ -94,11 +94,33 @@ pub enum Counter {
     /// Enqueue attempts that found the command queue full and had to stall
     /// (spin/yield) or fail fast, depending on the backpressure policy.
     OffloadBackpressureStalls,
+
+    // ---- fault injection + recovery (fairmpi-chaos) ----
+    /// Packets dropped on the wire by the active fault plan.
+    ChaosDrops,
+    /// Packets duplicated on the wire by the active fault plan.
+    ChaosDups,
+    /// Packets reordered (held back past a later packet) by the fault plan.
+    ChaosReorders,
+    /// Injection attempts transiently refused (CQ-full / `ENOBUFS`).
+    ChaosRefusals,
+    /// Packets re-injected by the reliability layer after a timeout or
+    /// refusal.
+    Retransmits,
+    /// Total nanoseconds of exponential backoff scheduled between retries.
+    RetryBackoffNanos,
+    /// Duplicate packets suppressed by receiver-side sequence tracking.
+    DuplicatesSuppressed,
+    /// Communication instances quarantined after permanent death, with their
+    /// traffic failed over to survivors.
+    CriFailovers,
+    /// Progress watchdog trips: no completion within the stall budget.
+    WatchdogTrips,
 }
 
 impl Counter {
     /// Total number of counters; the size of every [`crate::SpcSet`].
-    pub const COUNT: usize = Counter::OffloadBackpressureStalls as usize + 1;
+    pub const COUNT: usize = Counter::WatchdogTrips as usize + 1;
 
     /// All counters in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -133,6 +155,15 @@ impl Counter {
         Counter::OffloadCommands,
         Counter::OffloadBatches,
         Counter::OffloadBackpressureStalls,
+        Counter::ChaosDrops,
+        Counter::ChaosDups,
+        Counter::ChaosReorders,
+        Counter::ChaosRefusals,
+        Counter::Retransmits,
+        Counter::RetryBackoffNanos,
+        Counter::DuplicatesSuppressed,
+        Counter::CriFailovers,
+        Counter::WatchdogTrips,
     ];
 
     /// Stable machine-readable name (used in CSV/JSON output).
@@ -169,6 +200,15 @@ impl Counter {
             Counter::OffloadCommands => "offload_commands",
             Counter::OffloadBatches => "offload_batches",
             Counter::OffloadBackpressureStalls => "offload_backpressure_stalls",
+            Counter::ChaosDrops => "chaos_drops",
+            Counter::ChaosDups => "chaos_dups",
+            Counter::ChaosReorders => "chaos_reorders",
+            Counter::ChaosRefusals => "chaos_refusals",
+            Counter::Retransmits => "retransmits",
+            Counter::RetryBackoffNanos => "retry_backoff_ns",
+            Counter::DuplicatesSuppressed => "duplicates_suppressed",
+            Counter::CriFailovers => "cri_failovers",
+            Counter::WatchdogTrips => "watchdog_trips",
         }
     }
 

@@ -31,6 +31,9 @@ fn one_cri_run_ranks_the_instance_lock_top() {
             big_lock: false,
             process_mode: false,
             offload_workers: 0,
+            chaos_drop_pm: 0,
+            chaos_dup_pm: 0,
+            chaos_seed: 0,
         },
         seed: 7,
         cost: None,

@@ -70,6 +70,10 @@ pub struct CostModel {
     /// worker went idle (the nap-and-reschedule wake-up of a sleeping
     /// dedicated thread).
     pub offload_wakeup_ns: u64,
+    /// Reliable transport: base acknowledgment timeout before a dropped
+    /// frame is retransmitted (doubled per attempt, as in the native
+    /// runtime's backoff). Only charged when a fault plan drops frames.
+    pub retransmit_timeout_ns: u64,
 }
 
 impl CostModel {
@@ -96,6 +100,7 @@ impl CostModel {
             offload_enqueue_ns: 40,
             offload_drain_ns: 20,
             offload_wakeup_ns: 2_000,
+            retransmit_timeout_ns: 5_000,
         }
     }
 

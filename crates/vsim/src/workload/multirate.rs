@@ -8,10 +8,11 @@
 //! match times (Table II) therefore come out of the actual data structures.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
+use fairmpi_chaos::XorShift64;
 use fairmpi_trace::SpcSeries;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +66,16 @@ pub struct SimDesign {
     /// do all injection, extraction and matching. 0 disables offload
     /// (and it is ignored under `big_lock` or `process_mode`).
     pub offload_workers: usize,
+    /// Chaos: per-mille probability that a shipped frame is dropped on
+    /// the wire, repaired by timeout-and-retransmit at the cost model's
+    /// `retransmit_timeout_ns` with exponential backoff. 0 disables.
+    pub chaos_drop_pm: u16,
+    /// Chaos: per-mille probability that a shipped frame arrives twice;
+    /// the receive path suppresses the duplicate. 0 disables.
+    pub chaos_dup_pm: u16,
+    /// Seed of the chaos RNG stream. Deliberately separate from the run
+    /// seed so arming chaos never perturbs the scheduler's draws.
+    pub chaos_seed: u64,
 }
 
 impl SimDesign {
@@ -80,6 +91,9 @@ impl SimDesign {
             big_lock: false,
             process_mode: false,
             offload_workers: 0,
+            chaos_drop_pm: 0,
+            chaos_dup_pm: 0,
+            chaos_seed: 0,
         }
     }
 
@@ -108,6 +122,15 @@ impl SimDesign {
             offload_workers: workers,
             ..Self::baseline()
         }
+    }
+
+    /// Arm the lossy-wire model on this design (the degradation grids
+    /// sweep `drop_pm` through this).
+    pub fn chaos(mut self, drop_pm: u16, dup_pm: u16, seed: u64) -> Self {
+        self.chaos_drop_pm = drop_pm;
+        self.chaos_dup_pm = dup_pm;
+        self.chaos_seed = seed;
+        self
     }
 }
 
@@ -182,9 +205,31 @@ fn payload_comm(payload: u64) -> u32 {
     (payload >> 48) as u32
 }
 
+/// The simulated lossy wire: the fault schedule's own deterministic RNG
+/// stream (never the scheduler's — arming chaos must not perturb the
+/// jitter draws of an otherwise identical run) plus the receiver-side
+/// duplicate-suppression set.
+struct ChaosWire {
+    rng: XorShift64,
+    drop_pm: u16,
+    dup_pm: u16,
+    /// Payload words already matched once (dedup key: the packed
+    /// (comm, tag, seq) word, unique per logical message).
+    seen: HashSet<u64>,
+}
+
+/// What the chaos wire did to one shipped frame.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WireVerdict {
+    Deliver,
+    Drop,
+    Duplicate,
+}
+
 /// Shared state: receiver rings, the real matchers and sequencers.
 pub(crate) struct MrWorld {
     design: SimDesign,
+    chaos: Option<ChaosWire>,
     rings: Vec<VecDeque<u64>>,
     matchers: Vec<Matcher>,
     sequencers: Vec<SendSequencer>,
@@ -280,9 +325,37 @@ impl MrWorld {
         cost.extraction_ns * batch.len() as u64
     }
 
+    /// Wire verdict for one shipped frame: a single per-mille draw with
+    /// cumulative bands, mutually exclusive, exactly like the native
+    /// fabric's chaos hook.
+    fn chaos_ship(&mut self) -> WireVerdict {
+        let Some(chaos) = &mut self.chaos else {
+            return WireVerdict::Deliver;
+        };
+        let r = chaos.rng.draw_pm();
+        if r < chaos.drop_pm {
+            self.spc.inc(Counter::ChaosDrops);
+            WireVerdict::Drop
+        } else if r < chaos.drop_pm + chaos.dup_pm {
+            self.spc.inc(Counter::ChaosDups);
+            WireVerdict::Duplicate
+        } else {
+            WireVerdict::Deliver
+        }
+    }
+
     /// Deliver one drained packet through the real matcher; returns the
     /// virtual cost of the work performed and the completions it produced.
     fn match_deliver(&mut self, payload: u64, cost: &CostModel) -> (u64, usize) {
+        if let Some(chaos) = &mut self.chaos {
+            // Reliable-transport dedup: a duplicated frame is recognized
+            // and discarded before it reaches the matcher, for no more
+            // than its extraction cost.
+            if !chaos.seen.insert(payload) {
+                self.spc.inc(Counter::DuplicatesSuppressed);
+                return (cost.extraction_ns, 0);
+            }
+        }
         let packet = unpack(payload);
         let idx = self.matcher_index(packet.envelope.comm);
         let mut events = std::mem::take(&mut self.scratch);
@@ -349,6 +422,11 @@ enum SState {
     Inject,
     /// Injection done; ship on the wire.
     Ship,
+    /// Chaos duplicated the frame: post the second copy.
+    ShipDup,
+    /// Chaos dropped the frame: the (virtual) ack timeout elapsed with
+    /// nothing to show; back off, then re-acquire and re-inject.
+    RetryBackoff,
     /// Shipped; release the lock.
     Release,
     /// Offload mode: lock-free enqueue onto the command queue (retried
@@ -367,6 +445,8 @@ struct Sender {
     send_locks: Arc<[LockId]>,
     cur_instance: usize,
     cur_payload: u64,
+    /// Retransmit attempts for the in-hand frame (chaos only).
+    attempt: u32,
 }
 
 impl Sender {
@@ -457,14 +537,50 @@ impl Actor<MrWorld> for Sender {
                 Action::Compute(self.cost.injection_time_ns(0, 28))
             }
             SState::Ship => {
+                // A unique message counts as sent on its first injection,
+                // whatever the wire then does to it; retransmits don't.
+                if self.attempt == 0 {
+                    world.spc.inc(Counter::MessagesSent);
+                }
+                match world.chaos_ship() {
+                    WireVerdict::Drop => {
+                        // The sender only learns of the loss when the ack
+                        // timeout fires: release the instance and back off.
+                        self.state = SState::RetryBackoff;
+                        Action::Unlock(self.lock_id())
+                    }
+                    verdict => {
+                        let delay = self.wiring.wire_latency + world.jitter(self.wiring.jitter);
+                        self.attempt = 0;
+                        self.state = if verdict == WireVerdict::Duplicate {
+                            SState::ShipDup
+                        } else {
+                            SState::Release
+                        };
+                        Action::Post {
+                            mailbox: self.cur_instance,
+                            payload: self.cur_payload,
+                            delay_ns: delay,
+                        }
+                    }
+                }
+            }
+            SState::ShipDup => {
                 let delay = self.wiring.wire_latency + world.jitter(self.wiring.jitter);
-                world.spc.inc(Counter::MessagesSent);
                 self.state = SState::Release;
                 Action::Post {
                     mailbox: self.cur_instance,
                     payload: self.cur_payload,
                     delay_ns: delay,
                 }
+            }
+            SState::RetryBackoff => {
+                let backoff = self.cost.retransmit_timeout_ns << self.attempt.min(6);
+                self.attempt += 1;
+                world.spc.inc(Counter::Retransmits);
+                world.spc.add(Counter::RetryBackoffNanos, backoff);
+                self.state = SState::Acquire;
+                Action::Sleep(backoff)
             }
             SState::Release => {
                 self.state = SState::Next;
@@ -909,6 +1025,10 @@ enum WsState {
     Inject,
     /// Ship on the wire.
     Ship,
+    /// Chaos duplicated the frame: post the second copy.
+    ShipDup,
+    /// Chaos dropped the frame: back off, then re-acquire and re-inject.
+    RetryBackoff,
     /// Release the instance.
     Release,
 }
@@ -928,6 +1048,8 @@ struct SendWorker {
     cur_payload: u64,
     idle_streak: u32,
     was_idle: bool,
+    /// Retransmit attempts for the in-hand frame (chaos only).
+    attempt: u32,
 }
 
 impl Actor<MrWorld> for SendWorker {
@@ -981,14 +1103,48 @@ impl Actor<MrWorld> for SendWorker {
                     return Action::Compute(self.cost.injection_time_ns(0, 28));
                 }
                 WsState::Ship => {
+                    // First injection of a unique message counts as sent;
+                    // retransmits don't.
+                    if self.attempt == 0 {
+                        world.spc.inc(Counter::MessagesSent);
+                    }
+                    match world.chaos_ship() {
+                        WireVerdict::Drop => {
+                            self.state = WsState::RetryBackoff;
+                            return Action::Unlock(self.send_locks[self.instance]);
+                        }
+                        verdict => {
+                            let delay = self.wiring.wire_latency + world.jitter(self.wiring.jitter);
+                            self.attempt = 0;
+                            self.state = if verdict == WireVerdict::Duplicate {
+                                WsState::ShipDup
+                            } else {
+                                WsState::Release
+                            };
+                            return Action::Post {
+                                mailbox: self.instance,
+                                payload: self.cur_payload,
+                                delay_ns: delay,
+                            };
+                        }
+                    }
+                }
+                WsState::ShipDup => {
                     let delay = self.wiring.wire_latency + world.jitter(self.wiring.jitter);
-                    world.spc.inc(Counter::MessagesSent);
                     self.state = WsState::Release;
                     return Action::Post {
                         mailbox: self.instance,
                         payload: self.cur_payload,
                         delay_ns: delay,
                     };
+                }
+                WsState::RetryBackoff => {
+                    let backoff = self.cost.retransmit_timeout_ns << self.attempt.min(6);
+                    self.attempt += 1;
+                    world.spc.inc(Counter::Retransmits);
+                    world.spc.add(Counter::RetryBackoffNanos, backoff);
+                    self.state = WsState::Acquire;
+                    return Action::Sleep(backoff);
                 }
                 WsState::Release => {
                     self.state = WsState::Drain;
@@ -1307,6 +1463,12 @@ impl MultirateSim {
 
         let world = MrWorld {
             design,
+            chaos: (design.chaos_drop_pm > 0 || design.chaos_dup_pm > 0).then(|| ChaosWire {
+                rng: XorShift64::new(design.chaos_seed),
+                drop_pm: design.chaos_drop_pm,
+                dup_pm: design.chaos_dup_pm,
+                seen: HashSet::new(),
+            }),
             rings: vec![VecDeque::new(); instances],
             matchers,
             sequencers,
@@ -1412,6 +1574,7 @@ impl MultirateSim {
                     send_locks: Arc::clone(&send_locks),
                     cur_instance: 0,
                     cur_payload: 0,
+                    attempt: 0,
                 }),
             );
             sim.add_actor_named(
@@ -1458,6 +1621,7 @@ impl MultirateSim {
                     cur_payload: 0,
                     idle_streak: 0,
                     was_idle: false,
+                    attempt: 0,
                 }),
             );
             sim.add_actor_named(
@@ -1692,6 +1856,53 @@ mod tests {
     }
 
     #[test]
+    fn chaos_drops_are_repaired_and_runs_stay_deterministic() {
+        let mut d = SimDesign::baseline().chaos(100, 50, 5);
+        d.instances = 2;
+        d.assignment = SimAssignment::Dedicated;
+        d.progress = SimProgress::Concurrent;
+        let a = sim(4, d).run();
+        assert_eq!(
+            a.spc[Counter::MessagesReceived],
+            a.total_messages,
+            "every message must survive the lossy wire exactly once"
+        );
+        assert!(a.spc[Counter::ChaosDrops] > 0, "the plan must drop");
+        assert!(a.spc[Counter::Retransmits] > 0);
+        assert!(a.spc[Counter::RetryBackoffNanos] > 0);
+        assert!(a.spc[Counter::ChaosDups] > 0, "the plan must duplicate");
+        assert!(a.spc[Counter::DuplicatesSuppressed] > 0);
+        let b = sim(4, d).run();
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.spc, b.spc);
+    }
+
+    #[test]
+    fn chaos_degrades_rate_gracefully_not_to_zero() {
+        let clean = sim(4, SimDesign::baseline()).run();
+        let lossy = sim(4, SimDesign::baseline().chaos(400, 0, 9)).run();
+        assert_eq!(lossy.spc[Counter::MessagesReceived], lossy.total_messages);
+        assert!(
+            lossy.makespan_ns > clean.makespan_ns,
+            "retransmission must cost virtual time"
+        );
+        assert!(
+            lossy.msg_rate_per_s > clean.msg_rate_per_s / 10.0,
+            "40% drop must degrade, not collapse: clean {:.0}/s lossy {:.0}/s",
+            clean.msg_rate_per_s,
+            lossy.msg_rate_per_s
+        );
+    }
+
+    #[test]
+    fn chaos_reaches_the_offload_workers_too() {
+        let r = sim(4, SimDesign::offload(2).chaos(100, 50, 13)).run();
+        assert_eq!(r.spc[Counter::MessagesReceived], r.total_messages);
+        assert!(r.spc[Counter::Retransmits] > 0);
+        assert!(r.spc[Counter::DuplicatesSuppressed] > 0);
+    }
+
+    #[test]
     fn every_design_combination_terminates() {
         for instances in [1usize, 3] {
             for assignment in [SimAssignment::RoundRobin, SimAssignment::Dedicated] {
@@ -1708,6 +1919,9 @@ mod tests {
                                 big_lock: false,
                                 process_mode: false,
                                 offload_workers: 0,
+                                chaos_drop_pm: 0,
+                                chaos_dup_pm: 0,
+                                chaos_seed: 0,
                             };
                             let r = MultirateSim {
                                 machine: Machine::preset(MachinePreset::Alembert),

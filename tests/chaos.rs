@@ -1,0 +1,348 @@
+//! Integration: the fault-injection fabric and the recovery machinery above
+//! it — retransmit/backoff, duplicate suppression, CRI failover, error
+//! surfacing — through the full native stack with real OS threads.
+//!
+//! Every test arms an explicit seeded [`FaultPlan`], so the fault schedules
+//! replay identically run to run; only the assignment of faults to packets
+//! varies with thread interleaving, which the recovery machinery must (and
+//! these tests check it does) tolerate.
+
+use std::sync::{Arc, Mutex};
+
+use fairmpi::{
+    Counter, DesignConfig, ErrorHandler, FaultPlan, LockModel, MpiError, Proc, World, ANY_SOURCE,
+    ANY_TAG,
+};
+
+/// Tests that touch the process environment (`FAIRMPI_CHAOS_*`,
+/// `FAIRMPI_WATCHDOG_NS`) serialize here.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Join a sender thread while keeping the receiving rank progressed: the
+/// sender may still be waiting for acks whose previous copies the fault
+/// plan ate, and those retransmits land on `receiver`'s rank.
+fn join_while_progressing<T>(handle: std::thread::JoinHandle<T>, receiver: &Proc) -> T {
+    while !handle.is_finished() {
+        if receiver.progress() == 0 {
+            std::thread::yield_now();
+        }
+    }
+    handle.join().unwrap()
+}
+
+/// Pump `sends` eager messages through a lossy wire and require exactly-once
+/// FIFO delivery: every payload arrives, in order, and nothing is left over.
+fn exactly_once_fifo(design: DesignConfig, sends: u32) -> fairmpi::SpcSnapshot {
+    let world = Arc::new(World::builder().ranks(2).design(design).build());
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let sender = std::thread::spawn(move || {
+        let reqs: Vec<_> = (0..sends)
+            .map(|i| p0.isend(&i.to_le_bytes(), 1, 0, comm).unwrap())
+            .collect();
+        p0.waitall(&reqs).unwrap();
+    });
+    let p1 = world.proc(1);
+    for i in 0..sends {
+        let m = p1.recv(8, 0, 0, comm).unwrap();
+        assert_eq!(
+            m.data,
+            i.to_le_bytes(),
+            "FIFO broken or message lost at position {i}"
+        );
+    }
+    join_while_progressing(sender, &p1);
+    // Nothing extra on the wire: drive residual progress (stray duplicates
+    // still in flight get suppressed), then probe for leftovers.
+    for _ in 0..200 {
+        p1.progress();
+    }
+    assert_eq!(
+        p1.iprobe(ANY_SOURCE, ANY_TAG, comm).unwrap(),
+        None,
+        "a duplicate escaped suppression"
+    );
+    assert_eq!(world.proc(0).in_flight_frames(), 0, "unacked frames remain");
+    world.spc_merged()
+}
+
+/// The tentpole acceptance scenario: 10% drop plus duplication plus
+/// reordering, and every send still completes exactly once in FIFO order —
+/// recovered by retransmission, paid for in the `retransmits` and
+/// `retry_backoff_ns` probes.
+#[test]
+fn ten_percent_drop_is_repaired_by_retransmission() {
+    let plan = FaultPlan::seeded(11)
+        .drop(100)
+        .dup(50)
+        .reorder(50)
+        .timeout_ns(50_000);
+    let spc = exactly_once_fifo(DesignConfig::proposed(2).chaos(plan), 300);
+    assert!(spc[Counter::ChaosDrops] > 0, "the plan must actually drop");
+    assert!(
+        spc[Counter::Retransmits] > 0,
+        "drops must force retransmits"
+    );
+    assert!(
+        spc[Counter::RetryBackoffNanos] > 0,
+        "retransmits must be paced by backoff"
+    );
+}
+
+/// The same lossy wire through the big-lock emulation and the offload
+/// design: recovery is design-independent.
+#[test]
+fn lossy_wire_recovers_under_big_lock_and_offload_designs() {
+    let plan = FaultPlan::seeded(23).drop(80).timeout_ns(50_000);
+    let big_lock = DesignConfig {
+        lock_model: LockModel::GlobalCriticalSection,
+        ..DesignConfig::default()
+    }
+    .chaos(plan);
+    let spc = exactly_once_fifo(big_lock, 150);
+    assert!(spc[Counter::Retransmits] > 0);
+    let spc = exactly_once_fifo(DesignConfig::offload(2).chaos(plan), 150);
+    assert!(spc[Counter::Retransmits] > 0);
+}
+
+/// Duplicated frames are delivered twice by the fabric and accepted once by
+/// the receiver; the suppression shows up in `duplicates_suppressed`.
+#[test]
+fn duplicates_are_suppressed_exactly_once() {
+    let plan = FaultPlan::seeded(3).dup(300);
+    let spc = exactly_once_fifo(DesignConfig::proposed(2).chaos(plan), 100);
+    assert!(spc[Counter::ChaosDups] > 0, "the plan must actually dup");
+    assert!(
+        spc[Counter::DuplicatesSuppressed] > 0,
+        "a duplicated data frame must be swallowed by the receiver"
+    );
+}
+
+/// Rendezvous transfers (RTS/CTS/DATA, all individually droppable) survive
+/// the lossy wire too: the bulk payload arrives intact, once.
+#[test]
+fn rendezvous_protocol_survives_drops() {
+    let plan = FaultPlan::seeded(7).drop(120).timeout_ns(50_000);
+    let world = World::builder()
+        .ranks(2)
+        .design(DesignConfig::proposed(2).chaos(plan))
+        .build();
+    let comm = world.comm_world();
+    let payload: Vec<u8> = (0..16 * 1024).map(|i| (i % 251) as u8).collect();
+    let p0 = world.proc(0);
+    let expect = payload.clone();
+    let sender = std::thread::spawn(move || {
+        for _ in 0..5 {
+            p0.send(&payload, 1, 9, comm).unwrap();
+        }
+    });
+    let p1 = world.proc(1);
+    for _ in 0..5 {
+        let m = p1.recv(32 * 1024, 0, 9, comm).unwrap();
+        assert_eq!(m.data, expect, "rendezvous payload corrupted or lost");
+    }
+    join_while_progressing(sender, &p1);
+    let spc = world.spc_merged();
+    assert!(spc[Counter::RendezvousSends] >= 5);
+    assert!(spc[Counter::Retransmits] > 0);
+}
+
+/// Transient injection refusal (the CQ-full analog): the frame waits for
+/// the retransmit tick instead of failing, and the refusal is counted.
+#[test]
+fn transient_refusals_delay_but_never_lose_sends() {
+    let plan = FaultPlan::seeded(5).refuse(200).timeout_ns(20_000);
+    let spc = exactly_once_fifo(DesignConfig::proposed(2).chaos(plan), 150);
+    assert!(
+        spc[Counter::ChaosRefusals] > 0,
+        "the plan must actually refuse injections"
+    );
+}
+
+/// A context death on the *receiving* rank: deliveries fail over to the
+/// surviving context, frames stranded in the dead rx ring are repaired by
+/// retransmission, and the progress engine skips the corpse.
+#[test]
+fn receiver_context_death_fails_over_deliveries() {
+    let plan = FaultPlan::seeded(13).kill(1, 0, 40).timeout_ns(50_000);
+    let spc = exactly_once_fifo(DesignConfig::proposed(2).chaos(plan), 200);
+    assert_eq!(
+        spc[Counter::MessagesSent],
+        200,
+        "workload volume must not be inflated by recovery"
+    );
+}
+
+/// A sender whose *only* instance dies: frames already on the wire deliver,
+/// but their acks can no longer come home, so every send surfaces
+/// `InstanceFailed` (or exhausts its retries) through `MPI_ERRORS_RETURN`;
+/// the corpse is quarantined exactly once in `cri_failovers`, and the
+/// surviving rank keeps communicating.
+#[test]
+fn all_instances_dead_surfaces_instance_failed() {
+    let plan = FaultPlan::seeded(17)
+        .kill(0, 0, 10)
+        .timeout_ns(20_000)
+        .max_retries(3);
+    let world = World::builder()
+        .ranks(2)
+        .design(DesignConfig::default().chaos(plan))
+        .build();
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let reqs: Vec<_> = (0..30u32)
+        .map(|i| p0.isend(&i.to_le_bytes(), 1, 0, comm).unwrap())
+        .collect();
+    // Rank 0's only context died after the 10th observed send: every
+    // request must now resolve to an error — promptly, not by hanging.
+    for req in &reqs {
+        let err = p0.wait(req).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MpiError::InstanceFailed | MpiError::RetryExhausted { .. }
+            ),
+            "unexpected error class: {err}"
+        );
+    }
+    assert!(
+        world.spc_merged()[Counter::CriFailovers] >= 1,
+        "the dead instance must be quarantined"
+    );
+    // The 11 frames injected before (and during) the kill still delivered;
+    // the receiver drains them normally.
+    for _ in 0..200 {
+        p1.progress();
+    }
+    let mut received = 0u32;
+    while p1.iprobe(0, 0, comm).unwrap().is_some() {
+        let m = p1.recv(8, 0, 0, comm).unwrap();
+        assert_eq!(m.data, received.to_le_bytes());
+        received += 1;
+    }
+    assert_eq!(received, 11, "frames on the wire before the kill deliver");
+    // The surviving rank is unaffected: self-traffic still round-trips.
+    let req = p1.irecv(8, 1, 5, comm).unwrap();
+    p1.send(b"self", 1, 5, comm).unwrap();
+    assert_eq!(p1.wait(&req).unwrap().data, b"self");
+}
+
+/// With `MPI_ERRORS_ARE_FATAL`, an irrecoverable transport failure panics
+/// the observing thread instead of returning.
+#[test]
+#[should_panic(expected = "fatal MPI error")]
+fn errors_are_fatal_panics_on_retry_exhaustion() {
+    let plan = FaultPlan::seeded(19)
+        .drop(1000)
+        .timeout_ns(1_000)
+        .max_retries(2);
+    let world = World::builder()
+        .ranks(2)
+        .design(
+            DesignConfig::default()
+                .chaos(plan)
+                .error_handler(ErrorHandler::ErrorsAreFatal),
+        )
+        .build();
+    let comm = world.comm_world();
+    // Certain drop: no ack ever arrives, the retry budget burns out, and
+    // the wait's own progress pass executes the fatal handler.
+    let _ = world.proc(0).send(b"doomed", 1, 0, comm);
+}
+
+/// A 100%-drop wire exhausts the retry budget and reports how many attempts
+/// were made.
+#[test]
+fn certain_loss_reports_retry_exhausted() {
+    let plan = FaultPlan::seeded(29)
+        .drop(1000)
+        .timeout_ns(1_000)
+        .max_retries(4);
+    let world = World::builder()
+        .ranks(2)
+        .design(DesignConfig::default().chaos(plan))
+        .build();
+    let comm = world.comm_world();
+    let err = world.proc(0).send(b"doomed", 1, 0, comm).unwrap_err();
+    assert_eq!(err, MpiError::RetryExhausted { attempts: 4 });
+    let spc = world.proc(0).spc_snapshot();
+    assert_eq!(spc[Counter::Retransmits], 4, "one retransmit per attempt");
+    assert_eq!(spc[Counter::ChaosDrops], 5, "initial send + 4 retries");
+}
+
+/// The watchdog flags a stalled recovery as an SPC event instead of
+/// aborting: a wire that drops everything makes progress passes idle long
+/// past the (tiny, env-tuned) budget.
+#[test]
+fn watchdog_trips_while_recovery_stalls() {
+    let _env = ENV_LOCK.lock().unwrap();
+    std::env::set_var("FAIRMPI_WATCHDOG_NS", "1");
+    let plan = FaultPlan::seeded(31)
+        .drop(1000)
+        .timeout_ns(1_000_000_000) // park the frame; passes stay idle
+        .max_retries(0);
+    let world = World::builder()
+        .ranks(2)
+        .design(DesignConfig::default().chaos(plan))
+        .build();
+    std::env::remove_var("FAIRMPI_WATCHDOG_NS");
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let _req = p0.isend(b"stuck", 1, 0, comm).unwrap();
+    for _ in 0..100 {
+        p0.progress();
+    }
+    assert!(
+        p0.spc_snapshot()[Counter::WatchdogTrips] >= 1,
+        "idle passes past the budget must trip the watchdog"
+    );
+}
+
+/// A world can pick its whole fault plan up from `FAIRMPI_CHAOS_*` keys —
+/// the bench-grid entry point.
+#[test]
+fn chaos_env_keys_arm_a_world() {
+    let _env = ENV_LOCK.lock().unwrap();
+    std::env::set_var("FAIRMPI_CHAOS_SEED", "41");
+    std::env::set_var("FAIRMPI_CHAOS_DROP", "100");
+    std::env::set_var("FAIRMPI_CHAOS_TIMEOUT_NS", "50000");
+    let world = World::builder().ranks(2).build();
+    std::env::remove_var("FAIRMPI_CHAOS_SEED");
+    std::env::remove_var("FAIRMPI_CHAOS_DROP");
+    std::env::remove_var("FAIRMPI_CHAOS_TIMEOUT_NS");
+    let plan = world.design().chaos.expect("env keys must arm the plan");
+    assert_eq!((plan.seed, plan.drop_pm), (41, 100));
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let sender = std::thread::spawn(move || {
+        for i in 0..50u32 {
+            p0.send(&i.to_le_bytes(), 1, 0, comm).unwrap();
+        }
+    });
+    let p1 = world.proc(1);
+    for i in 0..50u32 {
+        assert_eq!(p1.recv(8, 0, 0, comm).unwrap().data, i.to_le_bytes());
+    }
+    join_while_progressing(sender, &p1);
+}
+
+/// An *inert* plan (seeded, but no fault class enabled) resolves to
+/// chaos-off: the reliability layer is never built and the design reports
+/// no chaos — the zero-fault identity gate relies on this.
+#[test]
+fn inert_plans_resolve_to_chaos_off() {
+    let world = World::builder()
+        .ranks(2)
+        .design(DesignConfig::default().chaos(FaultPlan::seeded(99)))
+        .build();
+    assert_eq!(world.design().chaos, None, "inert plan must disarm");
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let t = std::thread::spawn(move || p0.send(b"clean", 1, 0, comm).unwrap());
+    assert_eq!(world.proc(1).recv(8, 0, 0, comm).unwrap().data, b"clean");
+    t.join().unwrap();
+    let spc = world.spc_merged();
+    assert_eq!(spc[Counter::Retransmits], 0);
+    assert_eq!(spc[Counter::ChaosDrops], 0);
+}

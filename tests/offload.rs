@@ -4,7 +4,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use fairmpi::{Counter, DesignConfig, World};
+use fairmpi::{Counter, DesignConfig, FaultPlan, World};
 
 /// Builds that touch the `FAIRMPI_OFFLOAD_*` process environment serialize
 /// here so a concurrently running test never builds its world under a
@@ -150,4 +150,45 @@ fn world_drop_drains_queued_commands_without_loss() {
         spc[Counter::OffloadCommands] >= 1,
         "the burst must have gone through the command queue"
     );
+}
+
+/// The two-phase drain must also terminate when the fault plan kills a
+/// context mid-drain: the burst is still queued when the world is dropped,
+/// the kill quarantines one of rank 1's contexts, and recovery — failover
+/// plus retransmission of frames stranded in the dead rx ring — finishes
+/// on the direct path after the workers are gone.
+#[test]
+fn world_drop_terminates_when_a_context_dies_mid_drain() {
+    let _env = ENV_LOCK.lock().unwrap();
+    const N: u32 = 100;
+    let plan = FaultPlan::seeded(37).kill(1, 0, 30).timeout_ns(50_000);
+    let world = World::builder()
+        .ranks(2)
+        .design(DesignConfig::offload(2).chaos(plan))
+        .build();
+    let comm = world.comm_world();
+    let p0 = world.proc(0);
+    let p1 = world.proc(1);
+    let recvs: Vec<_> = (0..N).map(|_| p1.irecv(8, 0, 7, comm).unwrap()).collect();
+    let sends: Vec<_> = (0..N)
+        .map(|i| p0.isend(&i.to_le_bytes(), 1, 7, comm).unwrap())
+        .collect();
+    // The kill fires while the burst is (at least partly) still in the
+    // command queues; the drain must terminate regardless.
+    drop(world);
+    // The sender's retransmit tick repairs stranded frames while the
+    // receiver drains the survivor context — the two sides have to run
+    // concurrently for either to finish.
+    let t = std::thread::spawn(move || {
+        for s in &sends {
+            p0.wait(s).unwrap();
+        }
+        p0
+    });
+    let msgs = p1.waitall(&recvs).unwrap();
+    for (i, m) in msgs.iter().enumerate() {
+        assert_eq!(m.data, (i as u32).to_le_bytes(), "message {i} lost");
+    }
+    let p0 = t.join().unwrap();
+    assert_eq!(p0.in_flight_frames(), 0, "unacked frames survived recovery");
 }

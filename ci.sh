@@ -19,6 +19,24 @@ cargo test -q --workspace --offline
 echo "== test (trace crate, enabled) =="
 cargo test -q --offline -p fairmpi-trace --features enabled
 
+echo "== sync backend identity (native vs traced) =="
+# The traced fairmpi-sync backend must be observationally equivalent to
+# the zero-cost native one: the same flagship stress asserts the same
+# exact SPC values under both builds.
+cargo test -q --offline --test sync_backends
+cargo test -q --offline --test sync_backends --features trace
+
+echo "== model check (bounded-preemption interleaving exploration) =="
+# Exhaustive DFS over the lock-free core's protocols (offload ring,
+# Algorithm 2 fallback sweep, dedup window) ...
+cargo test -q --offline -p fairmpi-check 2>&1 | tee /tmp/fairmpi_check.log
+! grep -q "FAILED" /tmp/fairmpi_check.log
+# ... and the checker must have teeth: all four seeded mutant bugs caught
+# with reproducible counterexample schedules.
+cargo test --offline -p fairmpi-check --test mutants all_seeded_mutants_caught -- --nocapture \
+    > /tmp/fairmpi_mutants.log 2>&1
+grep -q "all 4 seeded mutants caught" /tmp/fairmpi_mutants.log
+
 echo "== fmt =="
 cargo fmt --all --check
 

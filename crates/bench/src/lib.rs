@@ -69,12 +69,10 @@ impl Series {
     }
 }
 
-/// Read an env knob with a default.
+/// Read an env knob with a default (thin wrapper over the runtime's typed
+/// env layer so harness typos surface through the same one-shot report).
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    fairmpi::env::parse_or(name, default)
 }
 
 /// Write series as CSV: `figure,series,x,mean,stddev`.

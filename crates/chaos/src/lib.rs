@@ -195,51 +195,6 @@ impl FaultPlan {
             || self.delay_pm > 0
             || self.kill.is_some()
     }
-
-    /// Build a plan from `FAIRMPI_CHAOS_*` environment keys, or `None` when
-    /// `FAIRMPI_CHAOS_SEED` is unset (chaos disabled).
-    ///
-    /// Keys: `FAIRMPI_CHAOS_SEED`, `FAIRMPI_CHAOS_DROP` / `_DUP` /
-    /// `_REORDER` / `_REFUSE` / `_DELAY` (per-mille), `FAIRMPI_CHAOS_DELAY_NS`,
-    /// `FAIRMPI_CHAOS_KILL` (`rank:context:after`),
-    /// `FAIRMPI_CHAOS_TIMEOUT_NS`, `FAIRMPI_CHAOS_RETRIES`.
-    pub fn from_env() -> Option<Self> {
-        let seed = env_u64("FAIRMPI_CHAOS_SEED")?;
-        let mut plan = Self::seeded(seed)
-            .drop(env_u64("FAIRMPI_CHAOS_DROP").unwrap_or(0) as u16)
-            .dup(env_u64("FAIRMPI_CHAOS_DUP").unwrap_or(0) as u16)
-            .reorder(env_u64("FAIRMPI_CHAOS_REORDER").unwrap_or(0) as u16)
-            .refuse(env_u64("FAIRMPI_CHAOS_REFUSE").unwrap_or(0) as u16);
-        if let Some(pm) = env_u64("FAIRMPI_CHAOS_DELAY") {
-            plan = plan.delay(
-                pm as u16,
-                env_u64("FAIRMPI_CHAOS_DELAY_NS").unwrap_or(10_000),
-            );
-        }
-        if let Some(spec) = std::env::var("FAIRMPI_CHAOS_KILL").ok().as_deref() {
-            let parts: Vec<u64> = spec.split(':').filter_map(|p| p.parse().ok()).collect();
-            assert_eq!(
-                parts.len(),
-                3,
-                "FAIRMPI_CHAOS_KILL must be rank:context:after, got {spec:?}"
-            );
-            plan = plan.kill(parts[0] as u32, parts[1] as usize, parts[2]);
-        }
-        if let Some(ns) = env_u64("FAIRMPI_CHAOS_TIMEOUT_NS") {
-            plan = plan.timeout_ns(ns);
-        }
-        if let Some(n) = env_u64("FAIRMPI_CHAOS_RETRIES") {
-            plan = plan.max_retries(n as u32);
-        }
-        Some(plan)
-    }
-}
-
-fn env_u64(key: &str) -> Option<u64> {
-    std::env::var(key).ok().map(|v| {
-        v.parse()
-            .unwrap_or_else(|_| panic!("{key} must be an unsigned integer, got {v:?}"))
-    })
 }
 
 /// What the wire decided to do with one packet.
@@ -451,30 +406,6 @@ mod tests {
         assert_eq!(ChaosEngine::new(FaultPlan::seeded(1)).observe_send(), None);
     }
 
-    #[test]
-    fn env_round_trip() {
-        // Single test touches the environment: no intra-binary races.
-        assert_eq!(FaultPlan::from_env(), None, "no seed means chaos off");
-        std::env::set_var("FAIRMPI_CHAOS_SEED", "99");
-        std::env::set_var("FAIRMPI_CHAOS_DROP", "100");
-        std::env::set_var("FAIRMPI_CHAOS_KILL", "1:0:500");
-        std::env::set_var("FAIRMPI_CHAOS_RETRIES", "7");
-        let plan = FaultPlan::from_env().expect("seed set means chaos on");
-        std::env::remove_var("FAIRMPI_CHAOS_SEED");
-        std::env::remove_var("FAIRMPI_CHAOS_DROP");
-        std::env::remove_var("FAIRMPI_CHAOS_KILL");
-        std::env::remove_var("FAIRMPI_CHAOS_RETRIES");
-        assert_eq!(plan.seed, 99);
-        assert_eq!(plan.drop_pm, 100);
-        assert_eq!(
-            plan.kill,
-            Some(KillSpec {
-                rank: 1,
-                context: 0,
-                after: 500
-            })
-        );
-        assert_eq!(plan.max_retries, 7);
-        assert!(plan.is_active());
-    }
+    // Environment-driven plan construction lives in `fairmpi::env`
+    // (`fault_plan_from_env`), tested there.
 }

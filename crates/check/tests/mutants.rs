@@ -1,0 +1,207 @@
+//! The checker's own regression suite: four deliberately seeded
+//! concurrency bugs (see `fairmpi_check::mutants`), each of which the
+//! checker must catch with a reproducible counterexample. A checker that
+//! passes correct code proves nothing unless it also fails broken code.
+
+use fairmpi_check::mutants::{MiniPool, ModelRing, Pop, RacyDedup, RingBug};
+use fairmpi_check::{assert_reproducible_failure, spawn, yield_now, Checker, Counterexample};
+use fairmpi_sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// --- scenario bodies (fn items so check and replay run the same code) ---
+
+fn ring_publish_before_write() {
+    let ring = Arc::new(ModelRing::new(4, RingBug::PublishBeforeWrite));
+    let producer = {
+        let ring = Arc::clone(&ring);
+        spawn(move || assert!(ring.try_push(7)))
+    };
+    let mut got = None;
+    for _ in 0..3 {
+        match ring.try_pop() {
+            Pop::Value(v) => {
+                got = Some(v);
+                break;
+            }
+            Pop::Torn => panic!("popped a published but unwritten slot"),
+            Pop::Empty => yield_now(),
+        }
+    }
+    producer.join();
+    if got.is_none() {
+        match ring.try_pop() {
+            Pop::Value(v) => got = Some(v),
+            other => panic!("expected the pushed value after join, got {other:?}"),
+        }
+    }
+    assert_eq!(got, Some(7));
+}
+
+fn ring_ticket_without_cas() {
+    let ring = Arc::new(ModelRing::new(4, RingBug::TicketWithoutCas));
+    let producers: Vec<_> = (1..=2u64)
+        .map(|v| {
+            let ring = Arc::clone(&ring);
+            spawn(move || assert!(ring.try_push(v)))
+        })
+        .collect();
+    for p in producers {
+        p.join();
+    }
+    let mut got = Vec::new();
+    for _ in 0..2 {
+        match ring.try_pop() {
+            Pop::Value(v) => got.push(v),
+            Pop::Empty => panic!("a pushed value was lost ({} of 2 popped)", got.len()),
+            Pop::Torn => panic!("popped a published but unwritten slot"),
+        }
+    }
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2], "no value duplicated or lost");
+}
+
+fn progress_lost_wakeup() {
+    let pool = Arc::new(MiniPool::new(2, true));
+    let poster = {
+        let pool = Arc::clone(&pool);
+        spawn(move || pool.post(1, 7))
+    };
+    let mut out = Vec::new();
+    for _ in 0..2 {
+        pool.pass(0, &mut out);
+        if !out.is_empty() {
+            break;
+        }
+        yield_now();
+    }
+    poster.join();
+    // Give the mutant every chance: two full passes after the post is
+    // complete. Once its pending signal is consumed, no number of passes
+    // recovers the stranded completion.
+    for _ in 0..2 {
+        if out.is_empty() {
+            pool.pass(0, &mut out);
+        }
+    }
+    assert_eq!(
+        out,
+        vec![7],
+        "the posted completion is eventually extracted"
+    );
+}
+
+fn dedup_check_then_insert() {
+    let dedup = Arc::new(RacyDedup::new());
+    let accepted = Arc::new(AtomicU64::new(0));
+    let deliveries: Vec<_> = (0..2)
+        .map(|_| {
+            let dedup = Arc::clone(&dedup);
+            let accepted = Arc::clone(&accepted);
+            spawn(move || {
+                if dedup.accept(1) {
+                    accepted.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for d in deliveries {
+        d.join();
+    }
+    assert_eq!(
+        accepted.load(Ordering::SeqCst),
+        1,
+        "exactly one delivery of tseq 1 accepted"
+    );
+}
+
+// --- catchers: explore, then replay the counterexample verbatim ---
+
+fn catch(what: &str, scenario: fn()) -> Counterexample {
+    let checker = Checker::new();
+    let outcome = checker.check(scenario);
+    let ce = assert_reproducible_failure(&checker, &outcome, scenario, what);
+    println!(
+        "caught '{what}' after {} schedule(s)",
+        ce.schedules_explored
+    );
+    ce
+}
+
+#[test]
+fn mutant_ring_publish_before_write_caught() {
+    catch("ring publish-before-write", ring_publish_before_write);
+}
+
+#[test]
+fn mutant_ring_ticket_without_cas_caught() {
+    catch("ring ticket-without-CAS", ring_ticket_without_cas);
+}
+
+#[test]
+fn mutant_progress_lost_wakeup_caught() {
+    catch("progress lost-wakeup", progress_lost_wakeup);
+}
+
+#[test]
+fn mutant_dedup_check_then_insert_caught() {
+    catch("dedup check-then-insert", dedup_check_then_insert);
+}
+
+/// The gate ci.sh greps for: every seeded mutant produced a reproducible
+/// counterexample.
+#[test]
+fn all_seeded_mutants_caught() {
+    let mutants: [(&str, fn()); 4] = [
+        ("ring publish-before-write", ring_publish_before_write),
+        ("ring ticket-without-CAS", ring_ticket_without_cas),
+        ("progress lost-wakeup", progress_lost_wakeup),
+        ("dedup check-then-insert", dedup_check_then_insert),
+    ];
+    for (what, scenario) in mutants {
+        let ce = catch(what, scenario);
+        assert!(!ce.schedule.is_empty(), "counterexample has a schedule");
+    }
+    println!("all 4 seeded mutants caught");
+}
+
+/// The miniature ring with no seeded bug upholds the same properties the
+/// mutants violate — evidence the miniature (and not an artifact of it)
+/// is what the mutants break.
+#[test]
+fn miniature_ring_correct_protocol_passes() {
+    let checker = Checker::new();
+    checker
+        .check(|| {
+            let ring = Arc::new(ModelRing::new(4, RingBug::None));
+            let producers: Vec<_> = (1..=2u64)
+                .map(|v| {
+                    let ring = Arc::clone(&ring);
+                    spawn(move || assert!(ring.try_push(v)))
+                })
+                .collect();
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                match ring.try_pop() {
+                    Pop::Value(v) => got.push(v),
+                    Pop::Torn => panic!("popped a published but unwritten slot"),
+                    Pop::Empty => yield_now(),
+                }
+                if got.len() == 2 {
+                    break;
+                }
+            }
+            for p in producers {
+                p.join();
+            }
+            loop {
+                match ring.try_pop() {
+                    Pop::Value(v) => got.push(v),
+                    Pop::Torn => panic!("popped a published but unwritten slot"),
+                    Pop::Empty => break,
+                }
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        })
+        .assert_pass("miniature ring, correct protocol");
+}

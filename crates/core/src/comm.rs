@@ -1,6 +1,6 @@
 //! Communicators.
 
-use parking_lot::Mutex;
+use fairmpi_sync::Mutex;
 use std::sync::Arc;
 
 use fairmpi_fabric::CommId;
@@ -44,7 +44,9 @@ impl CommState {
         Self {
             id,
             size,
-            matcher: Mutex::new(Matcher::new(spc, allow_overtaking)),
+            matcher: Mutex::named(Matcher::new(spc, allow_overtaking), move || {
+                format!("matching.comm[{id}]")
+            }),
             sequencer: SendSequencer::new(size),
             allow_overtaking,
         }

@@ -1,5 +1,7 @@
 //! The design space of the study: every axis the paper varies.
 
+use crate::error::{MpiError, Result};
+
 pub use fairmpi_chaos::FaultPlan;
 pub use fairmpi_cri::Assignment;
 pub use fairmpi_progress::ProgressMode;
@@ -109,43 +111,137 @@ impl Default for DesignConfig {
 }
 
 impl DesignConfig {
+    /// Start building a design from the baseline defaults. The builder is
+    /// the only construction path that validates axis combinations; the
+    /// plain struct stays `Copy`/public for preset-style updates of an
+    /// already-validated config.
+    pub fn builder() -> DesignConfigBuilder {
+        DesignConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Typed, validating builder for [`DesignConfig`], replacing the former
+/// positional constructors (`proposed`, `offload`, `chaos`,
+/// `error_handler`). Start from [`DesignConfig::builder`], optionally jump
+/// to a named design point with [`DesignConfigBuilder::proposed`] /
+/// [`DesignConfigBuilder::offload`], adjust individual axes, and finish
+/// with [`DesignConfigBuilder::build`] — which rejects combinations the
+/// runtime cannot honor instead of silently misbehaving.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignConfigBuilder {
+    config: DesignConfig,
+}
+
+impl DesignConfigBuilder {
     /// The paper's full proposal: `n` dedicated CRIs, concurrent progress.
     /// (Concurrent *matching* additionally requires the application to use
     /// one communicator per thread pair, as in Fig. 3c.)
-    pub fn proposed(num_instances: usize) -> Self {
-        Self {
-            num_instances,
-            assignment: Assignment::Dedicated,
-            progress: ProgressMode::Concurrent,
-            ..Self::default()
-        }
-    }
-
-    /// Arm a deterministic fault plan on worlds built from this config.
-    pub fn chaos(mut self, plan: FaultPlan) -> Self {
-        self.chaos = Some(plan);
-        self
-    }
-
-    /// Select the error-handler semantics for irrecoverable failures.
-    pub fn error_handler(mut self, handler: ErrorHandler) -> Self {
-        self.error_handler = handler;
+    pub fn proposed(mut self, num_instances: usize) -> Self {
+        self.config.num_instances = num_instances;
+        self.config.assignment = Assignment::Dedicated;
+        self.config.progress = ProgressMode::Concurrent;
         self
     }
 
     /// The software-offload design point: `workers` dedicated communication
     /// threads, each owning its own CRI (dedicated assignment, concurrent
     /// progress), fed by a lock-free command queue. Application threads
-    /// never take the instance or matching locks on the fast path.
-    pub fn offload(workers: usize) -> Self {
+    /// never take the instance or matching locks on the fast path. Zero
+    /// workers would be "offload to nobody" and clamps to one.
+    pub fn offload(mut self, workers: usize) -> Self {
         let workers = workers.max(1);
-        Self {
-            num_instances: workers,
-            assignment: Assignment::Dedicated,
-            progress: ProgressMode::Concurrent,
-            offload_workers: workers,
-            ..Self::default()
+        self.config.num_instances = workers;
+        self.config.assignment = Assignment::Dedicated;
+        self.config.progress = ProgressMode::Concurrent;
+        self.config.offload_workers = workers;
+        self
+    }
+
+    /// Number of communication resource instances per rank.
+    pub fn num_instances(mut self, n: usize) -> Self {
+        self.config.num_instances = n;
+        self
+    }
+
+    /// Thread-to-instance assignment policy (Algorithm 1).
+    pub fn assignment(mut self, assignment: Assignment) -> Self {
+        self.config.assignment = assignment;
+        self
+    }
+
+    /// Serial or concurrent progress engine (Algorithm 2).
+    pub fn progress(mut self, progress: ProgressMode) -> Self {
+        self.config.progress = progress;
+        self
+    }
+
+    /// Per-communicator or global matching.
+    pub fn matching(mut self, matching: MatchMode) -> Self {
+        self.config.matching = matching;
+        self
+    }
+
+    /// Per-instance locks or a global critical section.
+    pub fn lock_model(mut self, lock_model: LockModel) -> Self {
+        self.config.lock_model = lock_model;
+        self
+    }
+
+    /// Default `mpi_assert_allow_overtaking` for new communicators.
+    pub fn allow_overtaking(mut self, allow: bool) -> Self {
+        self.config.allow_overtaking = allow;
+        self
+    }
+
+    /// Requested threading level.
+    pub fn thread_level(mut self, level: ThreadLevel) -> Self {
+        self.config.thread_level = level;
+        self
+    }
+
+    /// Number of dedicated offload worker threads (0 disables offload).
+    /// Unlike [`DesignConfigBuilder::offload`], this sets only the worker
+    /// count — combine with the other axes explicitly.
+    pub fn offload_workers(mut self, workers: usize) -> Self {
+        self.config.offload_workers = workers;
+        self
+    }
+
+    /// Arm a deterministic fault plan on worlds built from this config.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.config.chaos = Some(plan);
+        self
+    }
+
+    /// Select the error-handler semantics for irrecoverable failures.
+    pub fn error_handler(mut self, handler: ErrorHandler) -> Self {
+        self.config.error_handler = handler;
+        self
+    }
+
+    /// Validate and return the config.
+    ///
+    /// Rejected combinations:
+    /// * `num_instances == 0` — the rank could never communicate;
+    /// * `offload_workers > 0` with [`LockModel::GlobalCriticalSection`] —
+    ///   offload exists precisely to keep application threads out of the
+    ///   runtime's locks, while the big-lock emulation serializes every
+    ///   call; a world honoring both would measure neither design.
+    pub fn build(self) -> Result<DesignConfig> {
+        let c = self.config;
+        if c.num_instances == 0 {
+            return Err(MpiError::InvalidDesign(
+                "at least one communication instance is required",
+            ));
         }
+        if c.offload_workers > 0 && c.lock_model == LockModel::GlobalCriticalSection {
+            return Err(MpiError::InvalidDesign(
+                "offload workers under a global critical section",
+            ));
+        }
+        Ok(c)
     }
 }
 
@@ -271,9 +367,12 @@ mod tests {
     #[test]
     fn chaos_builder_arms_a_plan() {
         let plan = FaultPlan::seeded(7).drop(100);
-        let d = DesignConfig::proposed(2)
+        let d = DesignConfig::builder()
+            .proposed(2)
             .chaos(plan)
-            .error_handler(ErrorHandler::ErrorsAreFatal);
+            .error_handler(ErrorHandler::ErrorsAreFatal)
+            .build()
+            .unwrap();
         assert_eq!(d.chaos, Some(plan));
         assert_eq!(d.error_handler, ErrorHandler::ErrorsAreFatal);
         // The plan rides along through preset-style struct updates.
@@ -286,7 +385,7 @@ mod tests {
 
     #[test]
     fn proposed_design_enables_the_papers_machinery() {
-        let d = DesignConfig::proposed(20);
+        let d = DesignConfig::builder().proposed(20).build().unwrap();
         assert_eq!(d.num_instances, 20);
         assert_eq!(d.assignment, Assignment::Dedicated);
         assert_eq!(d.progress, ProgressMode::Concurrent);
@@ -295,13 +394,62 @@ mod tests {
 
     #[test]
     fn offload_design_dedicates_one_cri_per_worker() {
-        let d = DesignConfig::offload(4);
+        let d = DesignConfig::builder().offload(4).build().unwrap();
         assert_eq!(d.offload_workers, 4);
         assert_eq!(d.num_instances, 4);
         assert_eq!(d.assignment, Assignment::Dedicated);
         assert_eq!(d.progress, ProgressMode::Concurrent);
         // Zero workers would be "offload to nobody"; clamp to one.
-        assert_eq!(DesignConfig::offload(0).offload_workers, 1);
+        let clamped = DesignConfig::builder().offload(0).build().unwrap();
+        assert_eq!(clamped.offload_workers, 1);
+    }
+
+    #[test]
+    fn builder_setters_cover_every_axis() {
+        let d = DesignConfig::builder()
+            .num_instances(3)
+            .assignment(Assignment::RoundRobin)
+            .progress(ProgressMode::Concurrent)
+            .matching(MatchMode::Global)
+            .lock_model(LockModel::GlobalCriticalSection)
+            .allow_overtaking(true)
+            .thread_level(ThreadLevel::Serialized)
+            .build()
+            .unwrap();
+        assert_eq!(d.num_instances, 3);
+        assert_eq!(d.assignment, Assignment::RoundRobin);
+        assert_eq!(d.progress, ProgressMode::Concurrent);
+        assert_eq!(d.matching, MatchMode::Global);
+        assert_eq!(d.lock_model, LockModel::GlobalCriticalSection);
+        assert!(d.allow_overtaking);
+        assert_eq!(d.thread_level, ThreadLevel::Serialized);
+    }
+
+    #[test]
+    fn builder_rejects_incompatible_combinations() {
+        // Offload's whole point is keeping app threads out of the locks; a
+        // global critical section would serialize everything anyway.
+        let err = DesignConfig::builder()
+            .offload(2)
+            .lock_model(LockModel::GlobalCriticalSection)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.error_class(), 13, "MPI_ERR_ARG");
+        assert!(err.to_string().contains("global critical section"));
+
+        let err = DesignConfig::builder()
+            .num_instances(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one"));
+
+        // offload_workers() alone does not imply the rest of the offload
+        // preset, but still trips the same validation.
+        assert!(DesignConfig::builder()
+            .offload_workers(1)
+            .lock_model(LockModel::GlobalCriticalSection)
+            .build()
+            .is_err());
     }
 
     #[test]

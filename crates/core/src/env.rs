@@ -1,0 +1,287 @@
+//! Typed `FAIRMPI_*` environment parsing, consolidated.
+//!
+//! Every tuning knob the runtime (and the bench harness) reads from the
+//! process environment goes through an [`EnvKey`], which gives each key a
+//! single typed definition and uniform error handling: a value that fails
+//! to parse is *ignored* (the default applies — a tuning key must never
+//! turn a working world into a panic) but the failure is recorded and
+//! reported once, on stderr, at the next `World` construction
+//! ([`report_parse_errors`]) instead of silently defaulting.
+//!
+//! The keys themselves are defined next to the subsystem that consumes
+//! them (`offload`, `reliability`, the chaos plan below); this module owns
+//! the mechanism.
+
+use std::sync::Mutex;
+
+use fairmpi_chaos::FaultPlan;
+
+/// Types readable from an environment string.
+pub trait EnvValue: Sized {
+    /// Parse `raw`; `Err` carries a human-readable expectation.
+    fn parse_env(raw: &str) -> Result<Self, String>;
+}
+
+macro_rules! env_uint {
+    ($($t:ty),*) => {$(
+        impl EnvValue for $t {
+            fn parse_env(raw: &str) -> Result<Self, String> {
+                raw.parse()
+                    .map_err(|_| format!("expected an unsigned integer, got {raw:?}"))
+            }
+        }
+    )*};
+}
+env_uint!(u16, u32, u64, usize);
+
+impl EnvValue for String {
+    fn parse_env(raw: &str) -> Result<Self, String> {
+        Ok(raw.to_string())
+    }
+}
+
+/// A `rank:context:after` triple (the `FAIRMPI_CHAOS_KILL` grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillTriple {
+    /// Victim rank.
+    pub rank: u32,
+    /// Victim context (CRI index) on that rank.
+    pub context: usize,
+    /// Packets delivered before the kill fires.
+    pub after: u64,
+}
+
+impl EnvValue for KillTriple {
+    fn parse_env(raw: &str) -> Result<Self, String> {
+        let parts: Vec<u64> = raw.split(':').filter_map(|p| p.parse().ok()).collect();
+        if parts.len() != 3 || raw.split(':').count() != 3 {
+            return Err(format!("expected rank:context:after, got {raw:?}"));
+        }
+        Ok(KillTriple {
+            rank: parts[0] as u32,
+            context: parts[1] as usize,
+            after: parts[2],
+        })
+    }
+}
+
+/// One typed environment key. Construct as a `const` next to the consumer:
+///
+/// ```
+/// use fairmpi::env::EnvKey;
+/// const ITERS: EnvKey<usize> = EnvKey::new("FAIRMPI_ITERS");
+/// let iters = ITERS.get_or(40);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EnvKey<T> {
+    name: &'static str,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: EnvValue> EnvKey<T> {
+    /// Define a key by its environment variable name.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The environment variable name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The parsed value, or `None` when unset *or* unparsable (the parse
+    /// failure is recorded for [`report_parse_errors`]).
+    pub fn get(&self) -> Option<T> {
+        let raw = std::env::var(self.name).ok()?;
+        match T::parse_env(&raw) {
+            Ok(v) => Some(v),
+            Err(why) => {
+                record_parse_error(format!("{}: {why}", self.name));
+                None
+            }
+        }
+    }
+
+    /// The parsed value, or `default` when unset/unparsable.
+    pub fn get_or(&self, default: T) -> T {
+        self.get().unwrap_or(default)
+    }
+}
+
+/// Raw (unparsed) read, for subsystems with their own validation pipeline
+/// (the MPI_T cvar layer validates at bind time, mirroring `MPI_T`
+/// semantics).
+pub fn raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// Parse any `FAIRMPI_*`-style key by dynamic name — the escape hatch for
+/// harness code whose key names are data. Parse failures are recorded like
+/// [`EnvKey::get`].
+pub fn parse_or<T: EnvValue>(name: &str, default: T) -> T {
+    let Some(raw) = std::env::var(name).ok() else {
+        return default;
+    };
+    match T::parse_env(&raw) {
+        Ok(v) => v,
+        Err(why) => {
+            record_parse_error(format!("{name}: {why}"));
+            default
+        }
+    }
+}
+
+/// Parse errors accumulated since the last [`report_parse_errors`] call.
+static PARSE_ERRORS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn record_parse_error(message: String) {
+    let mut errors = PARSE_ERRORS.lock().unwrap_or_else(|e| e.into_inner());
+    if !errors.contains(&message) {
+        errors.push(message);
+    }
+}
+
+/// Report every pending env parse error on stderr, once each. `World`
+/// construction calls this after resolving its configuration, so a typo'd
+/// knob is visible exactly once per distinct message instead of panicking
+/// the run or vanishing into a silent default.
+pub fn report_parse_errors() {
+    let drained: Vec<String> =
+        std::mem::take(&mut *PARSE_ERRORS.lock().unwrap_or_else(|e| e.into_inner()));
+    for message in drained {
+        eprintln!("fairmpi: ignoring unparsable environment key {message}");
+    }
+}
+
+/// Pending parse errors without reporting them (test hook).
+pub fn pending_parse_errors() -> Vec<String> {
+    PARSE_ERRORS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+// ---------------------------------------------------------------------------
+// The chaos plan's keys (formerly `FaultPlan::from_env` in fairmpi-chaos)
+// ---------------------------------------------------------------------------
+
+const CHAOS_SEED: EnvKey<u64> = EnvKey::new("FAIRMPI_CHAOS_SEED");
+const CHAOS_DROP: EnvKey<u16> = EnvKey::new("FAIRMPI_CHAOS_DROP");
+const CHAOS_DUP: EnvKey<u16> = EnvKey::new("FAIRMPI_CHAOS_DUP");
+const CHAOS_REORDER: EnvKey<u16> = EnvKey::new("FAIRMPI_CHAOS_REORDER");
+const CHAOS_REFUSE: EnvKey<u16> = EnvKey::new("FAIRMPI_CHAOS_REFUSE");
+const CHAOS_DELAY: EnvKey<u16> = EnvKey::new("FAIRMPI_CHAOS_DELAY");
+const CHAOS_DELAY_NS: EnvKey<u64> = EnvKey::new("FAIRMPI_CHAOS_DELAY_NS");
+const CHAOS_KILL: EnvKey<KillTriple> = EnvKey::new("FAIRMPI_CHAOS_KILL");
+const CHAOS_TIMEOUT_NS: EnvKey<u64> = EnvKey::new("FAIRMPI_CHAOS_TIMEOUT_NS");
+const CHAOS_RETRIES: EnvKey<u32> = EnvKey::new("FAIRMPI_CHAOS_RETRIES");
+
+/// Build a fault plan from the `FAIRMPI_CHAOS_*` keys, or `None` when
+/// `FAIRMPI_CHAOS_SEED` is unset (chaos disabled).
+///
+/// Keys: `FAIRMPI_CHAOS_SEED`, `FAIRMPI_CHAOS_DROP` / `_DUP` / `_REORDER`
+/// / `_REFUSE` / `_DELAY` (per-mille), `FAIRMPI_CHAOS_DELAY_NS`,
+/// `FAIRMPI_CHAOS_KILL` (`rank:context:after`), `FAIRMPI_CHAOS_TIMEOUT_NS`,
+/// `FAIRMPI_CHAOS_RETRIES`.
+pub fn fault_plan_from_env() -> Option<FaultPlan> {
+    let seed = CHAOS_SEED.get()?;
+    let mut plan = FaultPlan::seeded(seed)
+        .drop(CHAOS_DROP.get_or(0))
+        .dup(CHAOS_DUP.get_or(0))
+        .reorder(CHAOS_REORDER.get_or(0))
+        .refuse(CHAOS_REFUSE.get_or(0));
+    if let Some(pm) = CHAOS_DELAY.get() {
+        plan = plan.delay(pm, CHAOS_DELAY_NS.get_or(10_000));
+    }
+    if let Some(kill) = CHAOS_KILL.get() {
+        plan = plan.kill(kill.rank, kill.context, kill.after);
+    }
+    if let Some(ns) = CHAOS_TIMEOUT_NS.get() {
+        plan = plan.timeout_ns(ns);
+    }
+    if let Some(n) = CHAOS_RETRIES.get() {
+        plan = plan.max_retries(n);
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmpi_chaos::KillSpec;
+
+    #[test]
+    fn kill_triple_grammar() {
+        assert_eq!(
+            KillTriple::parse_env("1:0:500"),
+            Ok(KillTriple {
+                rank: 1,
+                context: 0,
+                after: 500
+            })
+        );
+        assert!(KillTriple::parse_env("1:0").is_err());
+        assert!(KillTriple::parse_env("1:0:500:9").is_err());
+        assert!(KillTriple::parse_env("1:x:500").is_err());
+    }
+
+    #[test]
+    fn chaos_env_round_trip() {
+        // This is the only test in the binary that touches FAIRMPI_CHAOS_*
+        // keys, so parallel test threads can't observe a half-set plan.
+        assert_eq!(fault_plan_from_env(), None, "no seed means chaos off");
+        std::env::set_var("FAIRMPI_CHAOS_SEED", "99");
+        std::env::set_var("FAIRMPI_CHAOS_DROP", "100");
+        std::env::set_var("FAIRMPI_CHAOS_KILL", "1:0:500");
+        std::env::set_var("FAIRMPI_CHAOS_RETRIES", "7");
+        let plan = fault_plan_from_env().expect("seed set means chaos on");
+        std::env::remove_var("FAIRMPI_CHAOS_SEED");
+        std::env::remove_var("FAIRMPI_CHAOS_DROP");
+        std::env::remove_var("FAIRMPI_CHAOS_KILL");
+        std::env::remove_var("FAIRMPI_CHAOS_RETRIES");
+        assert_eq!(plan.seed, 99);
+        assert_eq!(plan.drop_pm, 100);
+        assert_eq!(
+            plan.kill,
+            Some(KillSpec {
+                rank: 1,
+                context: 0,
+                after: 500
+            })
+        );
+        assert_eq!(plan.max_retries, 7);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn unparsable_values_are_recorded_not_fatal() {
+        // Key chosen to be unique to this test (see the note above about
+        // env-touching tests staying disjoint).
+        std::env::set_var("FAIRMPI_ENVTEST_BOGUS", "not-a-number");
+        let key: EnvKey<u64> = EnvKey::new("FAIRMPI_ENVTEST_BOGUS");
+        assert_eq!(key.get(), None);
+        assert_eq!(key.get_or(42), 42);
+        assert_eq!(parse_or("FAIRMPI_ENVTEST_BOGUS", 7usize), 7);
+        std::env::remove_var("FAIRMPI_ENVTEST_BOGUS");
+        let pending = pending_parse_errors();
+        assert!(
+            pending.iter().any(|m| m.contains("FAIRMPI_ENVTEST_BOGUS")),
+            "parse failure must be recorded, got {pending:?}"
+        );
+        // Recording dedups: three failed reads above, one message.
+        assert_eq!(
+            pending
+                .iter()
+                .filter(|m| m.contains("FAIRMPI_ENVTEST_BOGUS"))
+                .count(),
+            1
+        );
+        report_parse_errors();
+        assert!(pending_parse_errors()
+            .iter()
+            .all(|m| !m.contains("FAIRMPI_ENVTEST_BOGUS")));
+    }
+}

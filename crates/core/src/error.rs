@@ -3,8 +3,14 @@
 use std::fmt;
 
 /// Errors surfaced by `fairmpi` operations, loosely mirroring MPI error
-/// classes.
+/// classes; [`MpiError::error_class`] gives the numeric class à la
+/// `MPI_Error_class`.
+///
+/// Non-exhaustive: downstream matches need a wildcard arm, so future PRs
+/// can add failure modes (the paper's fault-injection axis keeps growing)
+/// without a breaking release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MpiError {
     /// Destination or source rank outside the communicator (`MPI_ERR_RANK`).
     InvalidRank(i32),
@@ -46,6 +52,38 @@ pub enum MpiError {
     /// Every communication instance of the rank is permanently dead; the
     /// operation could not be injected at all.
     InstanceFailed,
+    /// A [`crate::DesignConfig`] builder was given an incompatible
+    /// combination of axes (`MPI_ERR_ARG`); the message names the clash.
+    InvalidDesign(&'static str),
+}
+
+impl MpiError {
+    /// The numeric MPI error class of this error, following Open MPI's
+    /// `mpi.h` numbering (`MPI_ERR_RANK` = 6, `MPI_ERR_TRUNCATE` = 15,
+    /// ...). These values are stable API: tooling that files them into
+    /// `MPI_Error_class`-keyed tables can rely on them across releases.
+    ///
+    /// Two variants have no exact class in the standard and borrow the
+    /// closest one: [`MpiError::Cancelled`] reports `MPI_ERR_PENDING`
+    /// (the operation never completed) and [`MpiError::InstanceFailed`]
+    /// reports `MPI_ERR_INTERN` (total loss of the rank's communication
+    /// resources — ULFM's `MPI_ERR_PROC_FAILED` has no stable number).
+    pub fn error_class(&self) -> u32 {
+        match self {
+            MpiError::InvalidRank(_) => 6,           // MPI_ERR_RANK
+            MpiError::InvalidTag(_) => 4,            // MPI_ERR_TAG
+            MpiError::InvalidComm(_) => 5,           // MPI_ERR_COMM
+            MpiError::Truncated { .. } => 15,        // MPI_ERR_TRUNCATE
+            MpiError::InvalidRequest(_) => 7,        // MPI_ERR_REQUEST
+            MpiError::Cancelled => 19,               // MPI_ERR_PENDING
+            MpiError::WindowOutOfRange { .. } => 55, // MPI_ERR_RMA_RANGE
+            MpiError::InvalidWindow(_) => 45,        // MPI_ERR_WIN
+            MpiError::MisalignedAtomic(_) => 13,     // MPI_ERR_ARG
+            MpiError::RetryExhausted { .. } => 16,   // MPI_ERR_OTHER
+            MpiError::InstanceFailed => 17,          // MPI_ERR_INTERN
+            MpiError::InvalidDesign(_) => 13,        // MPI_ERR_ARG
+        }
+    }
 }
 
 impl fmt::Display for MpiError {
@@ -83,6 +121,7 @@ impl fmt::Display for MpiError {
             MpiError::InstanceFailed => {
                 write!(f, "all communication instances of this rank have failed")
             }
+            MpiError::InvalidDesign(why) => write!(f, "invalid design configuration: {why}"),
         }
     }
 }
@@ -113,27 +152,31 @@ mod tests {
         assert_ne!(MpiError::InvalidRank(0), MpiError::InvalidRank(1));
     }
 
-    /// Every variant's `Display` output, asserted exactly. The closure at
-    /// the bottom matches without a wildcard, so adding a variant fails to
-    /// compile until its expected message is added here too.
+    /// Every variant's `Display` output and MPI error class, asserted
+    /// exactly. The closure at the bottom matches without a wildcard
+    /// (allowed within the defining crate despite `#[non_exhaustive]`), so
+    /// adding a variant fails to compile until its expected message and
+    /// class are added here too.
     #[test]
     fn display_covers_every_variant_exactly() {
-        let cases: Vec<(MpiError, &str)> = vec![
-            (MpiError::InvalidRank(-3), "invalid rank -3"),
+        let cases: Vec<(MpiError, &str, u32)> = vec![
+            (MpiError::InvalidRank(-3), "invalid rank -3", 6),
             (
                 MpiError::InvalidTag(-7),
                 "invalid tag -7 (user tags must be >= 0)",
+                4,
             ),
-            (MpiError::InvalidComm(9), "invalid communicator id 9"),
+            (MpiError::InvalidComm(9), "invalid communicator id 9", 5),
             (
                 MpiError::Truncated {
                     message_len: 100,
                     capacity: 10,
                 },
                 "message of 100 bytes truncated by 10-byte receive",
+                15,
             ),
-            (MpiError::InvalidRequest(42), "invalid request token 42"),
-            (MpiError::Cancelled, "request was cancelled"),
+            (MpiError::InvalidRequest(42), "invalid request token 42", 7),
+            (MpiError::Cancelled, "request was cancelled", 19),
             (
                 MpiError::WindowOutOfRange {
                     offset: 8,
@@ -141,23 +184,33 @@ mod tests {
                     window_len: 12,
                 },
                 "RMA access [8, 24) outside window of 12 bytes",
+                55,
             ),
-            (MpiError::InvalidWindow(5), "invalid window id 5"),
+            (MpiError::InvalidWindow(5), "invalid window id 5", 45),
             (
                 MpiError::MisalignedAtomic(3),
                 "atomic RMA op at misaligned offset 3",
+                13,
             ),
             (
                 MpiError::RetryExhausted { attempts: 20 },
                 "send abandoned after 20 retransmit attempts without acknowledgment",
+                16,
             ),
             (
                 MpiError::InstanceFailed,
                 "all communication instances of this rank have failed",
+                17,
+            ),
+            (
+                MpiError::InvalidDesign("offload workers under a global critical section"),
+                "invalid design configuration: offload workers under a global critical section",
+                13,
             ),
         ];
-        for (err, expected) in &cases {
+        for (err, expected, class) in &cases {
             assert_eq!(&err.to_string(), expected, "wrong Display for {err:?}");
+            assert_eq!(err.error_class(), *class, "wrong class for {err:?}");
         }
         // Compile-time completeness: no wildcard arm, so a new variant
         // cannot ship without extending both this match and `cases`.
@@ -172,9 +225,28 @@ mod tests {
             | MpiError::InvalidWindow(_)
             | MpiError::MisalignedAtomic(_)
             | MpiError::RetryExhausted { .. }
-            | MpiError::InstanceFailed => (),
+            | MpiError::InstanceFailed
+            | MpiError::InvalidDesign(_) => (),
         };
-        assert_eq!(cases.len(), 11, "one case per variant");
-        cases.iter().for_each(|(e, _)| covered(e));
+        assert_eq!(cases.len(), 12, "one case per variant");
+        cases.iter().for_each(|(e, _, _)| covered(e));
+    }
+
+    /// Error classes are grouped sanely: argument-shaped errors share
+    /// `MPI_ERR_ARG`, and no class collides with `MPI_SUCCESS` (0).
+    #[test]
+    fn error_classes_are_stable_and_nonzero() {
+        assert_eq!(
+            MpiError::MisalignedAtomic(0).error_class(),
+            MpiError::InvalidDesign("x").error_class(),
+            "both are MPI_ERR_ARG"
+        );
+        for e in [
+            MpiError::InvalidRank(0),
+            MpiError::Cancelled,
+            MpiError::InstanceFailed,
+        ] {
+            assert_ne!(e.error_class(), 0, "{e:?} must not be MPI_SUCCESS");
+        }
     }
 }

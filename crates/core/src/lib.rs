@@ -49,6 +49,7 @@ mod collectives;
 mod comm;
 pub mod datatypes;
 mod design;
+pub mod env;
 mod error;
 mod handler;
 mod offload;
@@ -66,11 +67,12 @@ mod tests;
 pub use collectives::ReduceOp;
 pub use comm::Communicator;
 pub use design::{
-    Assignment, DesignConfig, DesignPreset, ErrorHandler, LockModel, MatchMode, ProgressMode,
-    ThreadLevel,
+    Assignment, DesignConfig, DesignConfigBuilder, DesignPreset, ErrorHandler, LockModel,
+    MatchMode, ProgressMode, ThreadLevel,
 };
 pub use error::{MpiError, Result};
 pub use proc::Proc;
+pub use reliability::DedupWindow;
 pub use request::{Message, Request};
 pub use rma::{AccumulateOp, EpochGuard, Window, WindowId};
 pub use world::{World, WorldBuilder};

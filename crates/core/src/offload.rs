@@ -1,7 +1,7 @@
 //! Software-offload wiring: the bridge between the public API and the
 //! `fairmpi-offload` engine.
 //!
-//! When a world is built with [`crate::DesignConfig::offload`], application
+//! When a world is built with `DesignConfig::builder().offload(n)`, application
 //! threads stop touching the CRI and matching locks. Instead every
 //! `isend`/`irecv`/`put`/`flush` packages a descriptor and enqueues it on
 //! the engine's lock-free command queue; dedicated worker threads drain the
@@ -29,10 +29,10 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use fairmpi_sync::atomic::{AtomicU64, Ordering};
+use fairmpi_sync::Mutex;
 
 use fairmpi_fabric::{Completion, CompletionKind, Rank};
 use fairmpi_matching::{MatchEvent, PostOutcome, PostedRecv};
@@ -42,6 +42,7 @@ use fairmpi_offload::{
 };
 use fairmpi_spc::Counter;
 
+use crate::env::{EnvKey, EnvValue};
 use crate::proc::ProcState;
 use crate::rma::{WindowId, WindowState};
 
@@ -57,25 +58,34 @@ use crate::rma::{WindowId, WindowState};
 ///
 /// Unparsable values fall back to the default (tuning keys must never turn
 /// a working world into a panic).
-pub(crate) fn offload_config_from_env(workers: usize) -> OffloadConfig {
-    fn env_usize(key: &str, default: usize) -> usize {
-        std::env::var(key)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(default)
+const QUEUE_CAPACITY: EnvKey<usize> = EnvKey::new("FAIRMPI_OFFLOAD_QUEUE_CAPACITY");
+const BATCH_LIMIT: EnvKey<usize> = EnvKey::new("FAIRMPI_OFFLOAD_BATCH_LIMIT");
+const BACKPRESSURE: EnvKey<Backpressure> = EnvKey::new("FAIRMPI_OFFLOAD_BACKPRESSURE");
+
+impl EnvValue for Backpressure {
+    fn parse_env(raw: &str) -> Result<Self, String> {
+        match raw {
+            "spin" => Ok(Backpressure::Spin),
+            "yield" => Ok(Backpressure::Yield),
+            "try_again" => Ok(Backpressure::TryAgain),
+            _ => Err(format!("expected spin, yield or try_again, got {raw:?}")),
+        }
     }
+}
+
+pub(crate) fn offload_config_from_env(workers: usize) -> OffloadConfig {
     let defaults = OffloadConfig::default();
-    let backpressure = match std::env::var("FAIRMPI_OFFLOAD_BACKPRESSURE").as_deref() {
-        Ok("spin") => Backpressure::Spin,
-        Ok("try_again") => Backpressure::TryAgain,
-        _ => Backpressure::Yield,
-    };
     OffloadConfig {
         workers,
-        queue_capacity: env_usize("FAIRMPI_OFFLOAD_QUEUE_CAPACITY", defaults.queue_capacity),
-        batch_limit: env_usize("FAIRMPI_OFFLOAD_BATCH_LIMIT", defaults.batch_limit),
-        backpressure,
+        queue_capacity: QUEUE_CAPACITY
+            .get()
+            .filter(|&n| n > 0)
+            .unwrap_or(defaults.queue_capacity),
+        batch_limit: BATCH_LIMIT
+            .get()
+            .filter(|&n| n > 0)
+            .unwrap_or(defaults.batch_limit),
+        backpressure: BACKPRESSURE.get_or(Backpressure::Yield),
     }
 }
 

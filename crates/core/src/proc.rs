@@ -1,6 +1,6 @@
 //! Per-rank runtime state and the public `Proc` handle.
 
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use fairmpi_sync::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -149,8 +149,10 @@ impl ProcState {
             spc: Arc::clone(&spc),
             requests: RequestTable::new(),
             comms: RwLock::new(HashMap::new()),
-            global_matcher: Mutex::new(Matcher::new(spc, design.allow_overtaking)),
-            big_lock: Mutex::new(()),
+            global_matcher: Mutex::named(Matcher::new(spc, design.allow_overtaking), move || {
+                format!("matching.global[rank={rank}]")
+            }),
+            big_lock: Mutex::named((), move || format!("core.big_lock[rank={rank}]")),
             windows,
             offload: OnceLock::new(),
             reliability: design.chaos.map(|plan| Reliability::new(plan, num_ranks)),

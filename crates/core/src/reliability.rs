@@ -19,9 +19,9 @@
 //!
 //! [`MpiError::RetryExhausted`]: crate::MpiError::RetryExhausted
 
-use parking_lot::Mutex;
+use fairmpi_sync::atomic::{AtomicU64, Ordering};
+use fairmpi_sync::Mutex;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use fairmpi_chaos::FaultPlan;
@@ -50,18 +50,27 @@ struct SendChannel {
 }
 
 /// Receive side of one (peer → this rank) channel: which tseqs arrived.
+///
+/// Public so `fairmpi-check` can model-check the suppression logic under
+/// racing deliveries — the runtime itself only uses it behind a
+/// [`Mutex`] inside [`Reliability`].
 #[derive(Debug, Default)]
-struct RecvChannel {
+pub struct DedupWindow {
     /// Every tseq in `1..=floor` has been accepted.
     floor: u64,
     /// Accepted tseqs above the floor (out-of-order arrivals).
     above: BTreeSet<u64>,
 }
 
-impl RecvChannel {
+impl DedupWindow {
+    /// Empty window: no tseq accepted yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Record an arrival; `false` means this tseq was already accepted
     /// (a wire duplicate or a retransmission racing its own ack).
-    fn accept(&mut self, tseq: u64) -> bool {
+    pub fn accept(&mut self, tseq: u64) -> bool {
         if tseq <= self.floor || !self.above.insert(tseq) {
             return false;
         }
@@ -85,7 +94,7 @@ pub(crate) struct TickWork {
 pub(crate) struct Reliability {
     plan: FaultPlan,
     send: Vec<Mutex<SendChannel>>,
-    recv: Vec<Mutex<RecvChannel>>,
+    recv: Vec<Mutex<DedupWindow>>,
 }
 
 impl Reliability {
@@ -198,13 +207,12 @@ pub(crate) struct Watchdog {
     budget_ns: u64,
 }
 
+/// Stall window before the watchdog trips (default 50 ms).
+const WATCHDOG_NS: crate::env::EnvKey<u64> = crate::env::EnvKey::new("FAIRMPI_WATCHDOG_NS");
+
 impl Watchdog {
     pub(crate) fn new() -> Self {
-        let budget_ns = std::env::var("FAIRMPI_WATCHDOG_NS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&ns| ns > 0)
-            .unwrap_or(50_000_000);
+        let budget_ns = WATCHDOG_NS.get().filter(|&ns| ns > 0).unwrap_or(50_000_000);
         Self {
             epoch: Instant::now(),
             last_event_ns: AtomicU64::new(0),

@@ -1,8 +1,8 @@
 //! Requests: the handles behind nonblocking operations.
 
-use parking_lot::Mutex;
+use fairmpi_sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use fairmpi_sync::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use fairmpi_fabric::{Rank, Tag};

@@ -13,9 +13,9 @@
 //! the origin's completion queue; `flush` progresses the origin until its
 //! pending count toward the target drains.
 
-use parking_lot::{Mutex, RwLock};
+use fairmpi_sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use fairmpi_sync::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use fairmpi_fabric::Rank;
@@ -283,8 +283,8 @@ pub struct EpochGuard<'a> {
 // The guards are held purely for their Drop behavior (ending the epoch).
 #[allow(dead_code)]
 enum EpochGuardInner<'a> {
-    Exclusive(parking_lot::RwLockWriteGuard<'a, ()>),
-    Shared(parking_lot::RwLockReadGuard<'a, ()>),
+    Exclusive(fairmpi_sync::RwLockWriteGuard<'a, ()>),
+    Shared(fairmpi_sync::RwLockReadGuard<'a, ()>),
 }
 
 /// A window handle bound to one rank (the origin of the operations issued

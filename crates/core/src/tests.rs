@@ -295,10 +295,10 @@ fn many_threads_per_rank_concurrent_traffic() {
     // matching threads of the peer, each pair on its own tag.
     for design in [
         DesignConfig::default(),
-        DesignConfig::proposed(4),
+        DesignConfig::builder().proposed(4).build().unwrap(),
         DesignConfig {
             matching: MatchMode::Global,
-            ..DesignConfig::proposed(4)
+            ..DesignConfig::builder().proposed(4).build().unwrap()
         },
     ] {
         let world = Arc::new(two_rank_world(design));
@@ -330,7 +330,9 @@ fn many_threads_per_rank_concurrent_traffic() {
 #[test]
 fn per_pair_communicators_match_concurrently() {
     // Fig. 3c's setup: a communicator per thread pair.
-    let world = Arc::new(two_rank_world(DesignConfig::proposed(4)));
+    let world = Arc::new(two_rank_world(
+        DesignConfig::builder().proposed(4).build().unwrap(),
+    ));
     let comms: Vec<_> = (0..4).map(|_| world.new_comm()).collect();
     let mut handles = Vec::new();
     for (t, &comm) in comms.iter().enumerate() {
@@ -355,7 +357,7 @@ fn per_pair_communicators_match_concurrently() {
 
 #[test]
 fn overtaking_comm_relaxes_order_but_delivers_everything() {
-    let world = two_rank_world(DesignConfig::proposed(4));
+    let world = two_rank_world(DesignConfig::builder().proposed(4).build().unwrap());
     let comm = world.new_comm_with(true);
     let p0 = world.proc(0);
     let p1 = world.proc(1);
@@ -451,7 +453,9 @@ fn rma_bounds_and_alignment_errors() {
 
 #[test]
 fn rma_accumulate_is_atomic_across_threads() {
-    let world = Arc::new(two_rank_world(DesignConfig::proposed(4)));
+    let world = Arc::new(two_rank_world(
+        DesignConfig::builder().proposed(4).build().unwrap(),
+    ));
     let id = world.allocate_window(8);
     let threads = 4;
     let adds_per_thread = 500u64;
@@ -596,7 +600,7 @@ fn wait_any_returns_the_first_completion() {
 
 #[test]
 fn dedicated_instances_show_no_try_lock_failures_single_thread() {
-    let world = two_rank_world(DesignConfig::proposed(2));
+    let world = two_rank_world(DesignConfig::builder().proposed(2).build().unwrap());
     let comm = world.comm_world();
     let p0 = world.proc(0);
     let p1 = world.proc(1);
@@ -615,7 +619,7 @@ fn dedicated_instances_show_no_try_lock_failures_single_thread() {
 
 #[test]
 fn offload_world_round_trips_eager_and_rendezvous() {
-    let world = two_rank_world(DesignConfig::offload(2));
+    let world = two_rank_world(DesignConfig::builder().offload(2).build().unwrap());
     let comm = world.comm_world();
     let p0 = world.proc(0);
     let p1 = world.proc(1);
@@ -640,7 +644,7 @@ fn offload_world_round_trips_eager_and_rendezvous() {
 fn offload_preserves_recv_posting_order() {
     // Two same-signature receives posted back to back must match the two
     // messages in order, no matter which worker drains which descriptor.
-    let world = two_rank_world(DesignConfig::offload(4));
+    let world = two_rank_world(DesignConfig::builder().offload(4).build().unwrap());
     let comm = world.comm_world();
     let p0 = world.proc(0);
     let p1 = world.proc(1);
@@ -660,7 +664,7 @@ fn offload_preserves_recv_posting_order() {
 
 #[test]
 fn offload_rma_put_flush_through_the_command_queue() {
-    let world = two_rank_world(DesignConfig::offload(1));
+    let world = two_rank_world(DesignConfig::builder().offload(1).build().unwrap());
     let id = world.allocate_window(64);
     let origin = world.proc(0).window(id).unwrap();
     let target = world.proc(1).window(id).unwrap();
@@ -674,7 +678,7 @@ fn offload_rma_put_flush_through_the_command_queue() {
 
 #[test]
 fn offload_world_drop_joins_workers_and_handles_stay_usable() {
-    let world = two_rank_world(DesignConfig::offload(2));
+    let world = two_rank_world(DesignConfig::builder().offload(2).build().unwrap());
     let comm = world.comm_world();
     let p0 = world.proc(0);
     let p1 = world.proc(1);

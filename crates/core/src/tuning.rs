@@ -126,7 +126,7 @@ impl Cvars {
         let mut out = Self::new();
         for cvar in CVARS {
             let key = format!("FAIRMPI_{}", cvar.name.to_uppercase());
-            if let Ok(v) = std::env::var(&key) {
+            if let Some(v) = crate::env::raw(&key) {
                 out.values.insert(cvar.name.to_string(), v);
             }
         }
@@ -259,7 +259,7 @@ mod tests {
 
     #[test]
     fn resolve_over_preserves_unset_fields() {
-        let base = DesignConfig::proposed(8);
+        let base = DesignConfig::builder().proposed(8).build().unwrap();
         let d = Cvars::new()
             .set("num_instances", "4")
             .unwrap()

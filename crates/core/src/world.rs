@@ -68,8 +68,11 @@ impl WorldBuilder {
         // plan lives in the design — single source of truth downstream.
         design.chaos = design
             .chaos
-            .or_else(fairmpi_chaos::FaultPlan::from_env)
+            .or_else(crate::env::fault_plan_from_env)
             .filter(|p| p.is_active());
+        // Surface any unparsable FAIRMPI_* keys exactly once, now that
+        // every subsystem that reads the environment has been resolved.
+        crate::env::report_parse_errors();
         let contexts = self.fabric.clamp_contexts(design.num_instances);
         let fabric = Arc::new(Fabric::new(self.ranks, contexts, self.fabric));
         if let Some(plan) = design.chaos {

@@ -1,23 +1,25 @@
 //! A single communication resources instance and its lock guard.
 
-use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 
 use fairmpi_fabric::{
     busy_wait_ns, Completion, CompletionKind, DrainGuard, Fabric, NetworkContext, Packet,
 };
 use fairmpi_spc::{Counter, SpcSet, Watermark};
-use fairmpi_trace as trace;
+use fairmpi_sync::{Mutex, MutexGuard};
 
 /// One communication resources instance: a network context (with its rx
 /// ring and completion queue) plus the lock that protects it.
+///
+/// Contention observability comes from the sync facade: the lock is a
+/// [`fairmpi_sync::Mutex::named`] instance, so under the `traced` backend
+/// every acquire latency, hold time, and try-lock failure lands in
+/// fairmpi-trace without any hand-rolled hooks here.
 #[derive(Debug)]
 pub struct Cri {
     index: usize,
     context: Arc<NetworkContext>,
     lock: Mutex<()>,
-    /// Per-session interned trace name for this instance's lock.
-    trace_name: trace::NameCache,
 }
 
 impl Cri {
@@ -25,14 +27,8 @@ impl Cri {
         Self {
             index,
             context,
-            lock: Mutex::new(()),
-            trace_name: trace::NameCache::new(),
+            lock: Mutex::named((), move || format!("cri.instance[{index}]")),
         }
-    }
-
-    fn lock_name(&self) -> Option<trace::NameId> {
-        self.trace_name
-            .get(|| format!("cri.instance[{}]", self.index))
     }
 
     /// Position of this instance in its pool (== its context index).
@@ -64,22 +60,11 @@ impl Cri {
     /// Acquire the instance, blocking on contention (paper Algorithm 1's
     /// `LOCK(instance[k] → lock)`).
     pub fn lock<'a>(&'a self, spc: &SpcSet) -> CriGuard<'a> {
-        let name = self.lock_name();
-        let wait_from = name.map(|_| trace::now_ns());
         let guard = self.lock.lock();
-        let acquired_at = if let (Some(n), Some(from)) = (name, wait_from) {
-            let at = trace::now_ns();
-            trace::lock_acquired(n, at.saturating_sub(from));
-            at
-        } else {
-            0
-        };
         spc.inc(Counter::InstanceLockAcquisitions);
         CriGuard {
             cri: self,
             _lock: guard,
-            trace_name: name,
-            acquired_at,
         }
     }
 
@@ -92,26 +77,13 @@ impl Cri {
         match self.lock.try_lock() {
             Some(guard) => {
                 spc.inc(Counter::InstanceLockAcquisitions);
-                let name = self.lock_name();
-                let acquired_at = name
-                    .map(|n| {
-                        let at = trace::now_ns();
-                        trace::lock_acquired(n, 0);
-                        at
-                    })
-                    .unwrap_or(0);
                 Some(CriGuard {
                     cri: self,
                     _lock: guard,
-                    trace_name: name,
-                    acquired_at,
                 })
             }
             None => {
                 spc.inc(Counter::InstanceTryLockFailures);
-                if let Some(n) = self.lock_name() {
-                    trace::try_lock_fail(n);
-                }
                 None
             }
         }
@@ -127,17 +99,6 @@ impl Cri {
 pub struct CriGuard<'a> {
     cri: &'a Cri,
     _lock: MutexGuard<'a, ()>,
-    trace_name: Option<trace::NameId>,
-    acquired_at: u64,
-}
-
-impl Drop for CriGuard<'_> {
-    fn drop(&mut self) {
-        if let Some(n) = self.trace_name {
-            let hold = trace::now_ns().saturating_sub(self.acquired_at);
-            trace::lock_released(n, hold);
-        }
-    }
 }
 
 impl<'a> CriGuard<'a> {

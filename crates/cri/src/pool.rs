@@ -2,8 +2,10 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+
+use fairmpi_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use fairmpi_fabric::{Fabric, Rank};
 use fairmpi_spc::{Counter, SpcSet};

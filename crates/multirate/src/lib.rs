@@ -297,7 +297,7 @@ mod tests {
     fn native_comm_per_pair_and_overtaking() {
         let mut cfg = quick(Mode::Threads, 3);
         cfg.comm_per_pair = true;
-        cfg.design = DesignConfig::proposed(3);
+        cfg.design = DesignConfig::builder().proposed(3).build().unwrap();
         cfg.design.allow_overtaking = true;
         cfg.any_tag = true;
         let report = run_native(&cfg);
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn virtual_backend_matches_config_axes() {
         let mut cfg = quick(Mode::Threads, 4);
-        cfg.design = DesignConfig::proposed(4);
+        cfg.design = DesignConfig::builder().proposed(4).build().unwrap();
         cfg.comm_per_pair = true;
         let machine = Machine::preset(MachinePreset::Alembert);
         let result = run_virtual(&cfg, &machine, 42);

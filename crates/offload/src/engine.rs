@@ -1,9 +1,11 @@
 //! Offload worker threads: batch-drain the command queue, execute against
 //! the real engine, notify completions.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use fairmpi_sync::atomic::{AtomicBool, Ordering};
+use fairmpi_sync::Mutex;
 use std::time::Duration;
 
 use fairmpi_spc::{Counter, SpcSet, Watermark};
@@ -181,12 +183,7 @@ impl OffloadEngine {
 
     /// Wait for every worker to finish its drain and exit.
     pub fn join(&self) {
-        let handles: Vec<_> = self
-            .workers
-            .lock()
-            .expect("worker list")
-            .drain(..)
-            .collect();
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
         for h in handles {
             h.join().expect("offload worker panicked");
         }
@@ -285,8 +282,8 @@ fn drain_inflight(
 mod tests {
     use super::*;
     use fairmpi_fabric::{Envelope, Packet};
+    use fairmpi_sync::atomic::AtomicU64;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
 
     /// Backend that records executed tokens and completes each one after
     /// `latency` progress passes.
@@ -311,14 +308,14 @@ mod tests {
     impl OffloadBackend for MockBackend {
         fn execute(&self, cmd: Command) {
             let token = cmd.token();
-            self.executed.lock().unwrap().push(token);
-            self.pending.lock().unwrap().push((token, self.latency));
+            self.executed.lock().push(token);
+            self.pending.lock().push((token, self.latency));
         }
 
         fn progress(&self) -> usize {
             self.progress_calls.fetch_add(1, Ordering::Relaxed);
             let mut done = 0;
-            let mut pending = self.pending.lock().unwrap();
+            let mut pending = self.pending.lock();
             for entry in pending.iter_mut() {
                 if entry.1 > 0 {
                     entry.1 -= 1;
@@ -333,7 +330,6 @@ mod tests {
         fn is_complete(&self, token: u64) -> bool {
             self.pending
                 .lock()
-                .unwrap()
                 .iter()
                 .all(|(t, left)| *t != token || *left == 0)
         }
@@ -400,7 +396,7 @@ mod tests {
             engine.submit(send_cmd(t), None).unwrap();
         }
         engine.shutdown();
-        let executed = backend.executed.lock().unwrap();
+        let executed = backend.executed.lock();
         assert_eq!(executed.len(), 500, "no accepted command is lost");
         // Submissions after shutdown are refused, command handed back.
         match engine.submit(send_cmd(501), None) {

@@ -10,9 +10,9 @@
 //! SPC slots).
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::utils::CachePadded;
+use fairmpi_sync::atomic::{AtomicU64, Ordering};
+use fairmpi_sync::CachePadded;
 
 /// What a producer does when the command queue is full (the ring cannot
 /// grow: boundedness is what gives the offload design its backpressure).

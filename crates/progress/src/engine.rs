@@ -1,6 +1,6 @@
 //! Engine implementation.
 
-use parking_lot::Mutex;
+use fairmpi_sync::Mutex;
 use std::sync::Arc;
 
 use fairmpi_cri::{Assignment, Cri, CriPool};
@@ -59,7 +59,7 @@ impl ProgressEngine {
         Self {
             mode,
             pool,
-            serial_gate: Mutex::new(()),
+            serial_gate: Mutex::named((), || "progress.serial_gate".to_string()),
             extraction_overhead_ns,
             drain_budget: Self::DEFAULT_DRAIN_BUDGET,
         }

@@ -1,6 +1,6 @@
 //! Progress engine tests.
 
-use parking_lot::Mutex;
+use fairmpi_sync::Mutex;
 use std::sync::Arc;
 
 use fairmpi_cri::{Assignment, CriPool};

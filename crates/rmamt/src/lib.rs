@@ -163,7 +163,7 @@ mod tests {
             threads: 3,
             msg_size: 16,
             ops_per_thread: 20,
-            design: DesignConfig::proposed(3),
+            design: DesignConfig::builder().proposed(3).build().unwrap(),
             ..RmamtConfig::default()
         };
         let report = run_native(&cfg);
@@ -191,7 +191,7 @@ mod tests {
         let cfg = RmamtConfig {
             threads: 4,
             ops_per_thread: 50,
-            design: DesignConfig::proposed(32),
+            design: DesignConfig::builder().proposed(32).build().unwrap(),
             ..RmamtConfig::default()
         };
         let machine = Machine::preset(MachinePreset::TrinititeHaswell);

@@ -1,0 +1,51 @@
+//! Cache-line padding, previously pulled from `crossbeam::utils`.
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (a conservative multiple of) the cache line
+/// size so neighbouring hot counters never false-share. 128 bytes covers
+/// the spatial prefetcher pairing on x86_64 and the 128-byte lines on
+/// recent aarch64 parts.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value`.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}

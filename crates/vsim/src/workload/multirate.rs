@@ -108,7 +108,7 @@ impl SimDesign {
 
     /// The software-offload design point: `workers` dedicated communication
     /// threads per side, each with a dedicated instance (mirrors
-    /// `DesignConfig::offload` in `fairmpi`). Composes with per-communicator
+    /// `DesignConfig::builder().offload(n)` in `fairmpi`). Composes with per-communicator
     /// matching — without it every pair's posted receives share one PRQ and
     /// the workers' match traversals grow with the pair count, burying the
     /// benefit of the lock-free submission path.

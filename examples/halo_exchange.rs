@@ -54,7 +54,12 @@ fn main() {
     let world = Arc::new(
         World::builder()
             .ranks(2)
-            .design(DesignConfig::proposed(THREADS_PER_RANK))
+            .design(
+                DesignConfig::builder()
+                    .proposed(THREADS_PER_RANK)
+                    .build()
+                    .unwrap(),
+            )
             .build(),
     );
     // One dedicated communicator for the rank-boundary exchange.

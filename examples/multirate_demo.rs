@@ -38,7 +38,7 @@ fn main() {
         (
             "CRIs* (+concurrent progress & matching)",
             MultirateConfig {
-                design: DesignConfig::proposed(pairs),
+                design: DesignConfig::builder().proposed(pairs).build().unwrap(),
                 comm_per_pair: true,
                 ..base.clone()
             },

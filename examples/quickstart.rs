@@ -13,7 +13,7 @@ fn main() {
     // and a concurrent progress engine.
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::proposed(4))
+        .design(DesignConfig::builder().proposed(4).build().unwrap())
         .build();
     let comm = world.comm_world();
     let p0 = world.proc(0);

@@ -32,7 +32,7 @@ fn main() {
     let world = Arc::new(
         World::builder()
             .ranks(2)
-            .design(DesignConfig::proposed(THREADS))
+            .design(DesignConfig::builder().proposed(THREADS).build().unwrap())
             .build(),
     );
     let win_id = world.allocate_window(BINS * 8);

@@ -23,7 +23,12 @@ fn main() {
     let world = Arc::new(
         World::builder()
             .ranks(2)
-            .design(DesignConfig::proposed(PRODUCERS.max(WORKERS)))
+            .design(
+                DesignConfig::builder()
+                    .proposed(PRODUCERS.max(WORKERS))
+                    .build()
+                    .unwrap(),
+            )
             .build(),
     );
     // The task channel: ordering explicitly relaxed.

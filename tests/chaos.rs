@@ -77,7 +77,14 @@ fn ten_percent_drop_is_repaired_by_retransmission() {
         .dup(50)
         .reorder(50)
         .timeout_ns(50_000);
-    let spc = exactly_once_fifo(DesignConfig::proposed(2).chaos(plan), 300);
+    let spc = exactly_once_fifo(
+        DesignConfig::builder()
+            .proposed(2)
+            .chaos(plan)
+            .build()
+            .unwrap(),
+        300,
+    );
     assert!(spc[Counter::ChaosDrops] > 0, "the plan must actually drop");
     assert!(
         spc[Counter::Retransmits] > 0,
@@ -94,14 +101,21 @@ fn ten_percent_drop_is_repaired_by_retransmission() {
 #[test]
 fn lossy_wire_recovers_under_big_lock_and_offload_designs() {
     let plan = FaultPlan::seeded(23).drop(80).timeout_ns(50_000);
-    let big_lock = DesignConfig {
-        lock_model: LockModel::GlobalCriticalSection,
-        ..DesignConfig::default()
-    }
-    .chaos(plan);
+    let big_lock = DesignConfig::builder()
+        .lock_model(LockModel::GlobalCriticalSection)
+        .chaos(plan)
+        .build()
+        .unwrap();
     let spc = exactly_once_fifo(big_lock, 150);
     assert!(spc[Counter::Retransmits] > 0);
-    let spc = exactly_once_fifo(DesignConfig::offload(2).chaos(plan), 150);
+    let spc = exactly_once_fifo(
+        DesignConfig::builder()
+            .offload(2)
+            .chaos(plan)
+            .build()
+            .unwrap(),
+        150,
+    );
     assert!(spc[Counter::Retransmits] > 0);
 }
 
@@ -110,7 +124,14 @@ fn lossy_wire_recovers_under_big_lock_and_offload_designs() {
 #[test]
 fn duplicates_are_suppressed_exactly_once() {
     let plan = FaultPlan::seeded(3).dup(300);
-    let spc = exactly_once_fifo(DesignConfig::proposed(2).chaos(plan), 100);
+    let spc = exactly_once_fifo(
+        DesignConfig::builder()
+            .proposed(2)
+            .chaos(plan)
+            .build()
+            .unwrap(),
+        100,
+    );
     assert!(spc[Counter::ChaosDups] > 0, "the plan must actually dup");
     assert!(
         spc[Counter::DuplicatesSuppressed] > 0,
@@ -125,7 +146,13 @@ fn rendezvous_protocol_survives_drops() {
     let plan = FaultPlan::seeded(7).drop(120).timeout_ns(50_000);
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::proposed(2).chaos(plan))
+        .design(
+            DesignConfig::builder()
+                .proposed(2)
+                .chaos(plan)
+                .build()
+                .unwrap(),
+        )
         .build();
     let comm = world.comm_world();
     let payload: Vec<u8> = (0..16 * 1024).map(|i| (i % 251) as u8).collect();
@@ -152,7 +179,14 @@ fn rendezvous_protocol_survives_drops() {
 #[test]
 fn transient_refusals_delay_but_never_lose_sends() {
     let plan = FaultPlan::seeded(5).refuse(200).timeout_ns(20_000);
-    let spc = exactly_once_fifo(DesignConfig::proposed(2).chaos(plan), 150);
+    let spc = exactly_once_fifo(
+        DesignConfig::builder()
+            .proposed(2)
+            .chaos(plan)
+            .build()
+            .unwrap(),
+        150,
+    );
     assert!(
         spc[Counter::ChaosRefusals] > 0,
         "the plan must actually refuse injections"
@@ -165,7 +199,14 @@ fn transient_refusals_delay_but_never_lose_sends() {
 #[test]
 fn receiver_context_death_fails_over_deliveries() {
     let plan = FaultPlan::seeded(13).kill(1, 0, 40).timeout_ns(50_000);
-    let spc = exactly_once_fifo(DesignConfig::proposed(2).chaos(plan), 200);
+    let spc = exactly_once_fifo(
+        DesignConfig::builder()
+            .proposed(2)
+            .chaos(plan)
+            .build()
+            .unwrap(),
+        200,
+    );
     assert_eq!(
         spc[Counter::MessagesSent],
         200,
@@ -186,7 +227,7 @@ fn all_instances_dead_surfaces_instance_failed() {
         .max_retries(3);
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::default().chaos(plan))
+        .design(DesignConfig::builder().chaos(plan).build().unwrap())
         .build();
     let comm = world.comm_world();
     let p0 = world.proc(0);
@@ -240,9 +281,11 @@ fn errors_are_fatal_panics_on_retry_exhaustion() {
     let world = World::builder()
         .ranks(2)
         .design(
-            DesignConfig::default()
+            DesignConfig::builder()
                 .chaos(plan)
-                .error_handler(ErrorHandler::ErrorsAreFatal),
+                .error_handler(ErrorHandler::ErrorsAreFatal)
+                .build()
+                .unwrap(),
         )
         .build();
     let comm = world.comm_world();
@@ -261,7 +304,7 @@ fn certain_loss_reports_retry_exhausted() {
         .max_retries(4);
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::default().chaos(plan))
+        .design(DesignConfig::builder().chaos(plan).build().unwrap())
         .build();
     let comm = world.comm_world();
     let err = world.proc(0).send(b"doomed", 1, 0, comm).unwrap_err();
@@ -284,7 +327,7 @@ fn watchdog_trips_while_recovery_stalls() {
         .max_retries(0);
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::default().chaos(plan))
+        .design(DesignConfig::builder().chaos(plan).build().unwrap())
         .build();
     std::env::remove_var("FAIRMPI_WATCHDOG_NS");
     let comm = world.comm_world();
@@ -334,7 +377,12 @@ fn chaos_env_keys_arm_a_world() {
 fn inert_plans_resolve_to_chaos_off() {
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::default().chaos(FaultPlan::seeded(99)))
+        .design(
+            DesignConfig::builder()
+                .chaos(FaultPlan::seeded(99))
+                .build()
+                .unwrap(),
+        )
         .build();
     assert_eq!(world.design().chaos, None, "inert plan must disarm");
     let comm = world.comm_world();

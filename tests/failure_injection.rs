@@ -14,7 +14,7 @@ fn orphaned_dedicated_instance_is_progressed_by_survivors() {
     let world = Arc::new(
         World::builder()
             .ranks(2)
-            .design(DesignConfig::proposed(3))
+            .design(DesignConfig::builder().proposed(3).build().unwrap())
             .build(),
     );
     let comm = world.comm_world();
@@ -59,7 +59,7 @@ fn thread_churn_with_dedicated_assignment() {
     let world = Arc::new(
         World::builder()
             .ranks(2)
-            .design(DesignConfig::proposed(2))
+            .design(DesignConfig::builder().proposed(2).build().unwrap())
             .build(),
     );
     let comm = world.comm_world();
@@ -194,7 +194,7 @@ fn instance_cap_smaller_than_thread_count_still_works() {
         World::builder()
             .ranks(2)
             .fabric(fabric)
-            .design(DesignConfig::proposed(16))
+            .design(DesignConfig::builder().proposed(16).build().unwrap())
             .build(),
     );
     let comm = world.comm_world();

@@ -52,8 +52,8 @@ fn producer_streams(design: DesignConfig, producers: u32, per_producer: u32) -> 
 #[test]
 fn offload_matches_the_direct_path_and_preserves_ordering() {
     let _env = ENV_LOCK.lock().unwrap();
-    let direct = producer_streams(DesignConfig::proposed(2), 4, 50);
-    let offload = producer_streams(DesignConfig::offload(2), 4, 50);
+    let direct = producer_streams(DesignConfig::builder().proposed(2).build().unwrap(), 4, 50);
+    let offload = producer_streams(DesignConfig::builder().offload(2).build().unwrap(), 4, 50);
     for (t, stream) in offload.iter().enumerate() {
         assert_eq!(
             stream.len(),
@@ -78,7 +78,7 @@ fn backpressure_with_queue_smaller_than_inflight_window() {
     std::env::set_var("FAIRMPI_OFFLOAD_QUEUE_CAPACITY", "4");
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::offload(1))
+        .design(DesignConfig::builder().offload(1).build().unwrap())
         .build();
     std::env::remove_var("FAIRMPI_OFFLOAD_QUEUE_CAPACITY");
     let comm = world.comm_world();
@@ -121,7 +121,7 @@ fn world_drop_drains_queued_commands_without_loss() {
     const N: u32 = 100;
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::offload(2))
+        .design(DesignConfig::builder().offload(2).build().unwrap())
         .build();
     let comm = world.comm_world();
     let p0 = world.proc(0);
@@ -164,7 +164,13 @@ fn world_drop_terminates_when_a_context_dies_mid_drain() {
     let plan = FaultPlan::seeded(37).kill(1, 0, 30).timeout_ns(50_000);
     let world = World::builder()
         .ranks(2)
-        .design(DesignConfig::offload(2).chaos(plan))
+        .design(
+            DesignConfig::builder()
+                .offload(2)
+                .chaos(plan)
+                .build()
+                .unwrap(),
+        )
         .build();
     let comm = world.comm_world();
     let p0 = world.proc(0);

@@ -15,8 +15,8 @@ use fairmpi::{DesignConfig, World, ANY_TAG};
 fn fifo_holds_across_designs_and_thread_counts() {
     for design in [
         DesignConfig::default(),
-        DesignConfig::proposed(4),
-        DesignConfig::proposed(1),
+        DesignConfig::builder().proposed(4).build().unwrap(),
+        DesignConfig::builder().proposed(1).build().unwrap(),
     ] {
         let world = Arc::new(World::builder().ranks(2).design(design).build());
         let comm = world.comm_world();
@@ -85,7 +85,7 @@ fn random_traffic_round_trips() {
         let world = Arc::new(
             World::builder()
                 .ranks(2)
-                .design(DesignConfig::proposed(2))
+                .design(DesignConfig::builder().proposed(2).build().unwrap())
                 .build(),
         );
         let comm = world.comm_world();
@@ -122,7 +122,7 @@ fn overtaking_is_lossless() {
         let world = Arc::new(
             World::builder()
                 .ranks(2)
-                .design(DesignConfig::proposed(4))
+                .design(DesignConfig::builder().proposed(4).build().unwrap())
                 .build(),
         );
         let comm = world.new_comm_with(true);

@@ -58,7 +58,7 @@ fn concurrent_fetch_add_from_both_ranks_is_atomic() {
     let world = Arc::new(
         World::builder()
             .ranks(2)
-            .design(DesignConfig::proposed(4))
+            .design(DesignConfig::builder().proposed(4).build().unwrap())
             .build(),
     );
     let id = world.allocate_window(8);
@@ -92,7 +92,7 @@ fn compare_swap_builds_a_working_spinlock() {
     let world = Arc::new(
         World::builder()
             .ranks(2)
-            .design(DesignConfig::proposed(4))
+            .design(DesignConfig::builder().proposed(4).build().unwrap())
             .build(),
     );
     let id = world.allocate_window(16);

@@ -36,7 +36,10 @@ fn run_mixed(design: DesignConfig, pairs: u32, msgs: u32) -> fairmpi::SpcSnapsho
 
 #[test]
 fn sent_equals_received_at_quiescence() {
-    for design in [DesignConfig::default(), DesignConfig::proposed(4)] {
+    for design in [
+        DesignConfig::default(),
+        DesignConfig::builder().proposed(4).build().unwrap(),
+    ] {
         let spc = run_mixed(design, 3, 40);
         assert_eq!(spc[Counter::MessagesSent], 3 * 40);
         assert_eq!(
@@ -49,7 +52,7 @@ fn sent_equals_received_at_quiescence() {
 
 #[test]
 fn received_splits_into_expected_plus_unexpected_matches() {
-    let spc = run_mixed(DesignConfig::proposed(2), 2, 50);
+    let spc = run_mixed(DesignConfig::builder().proposed(2).build().unwrap(), 2, 50);
     // Every received message was matched exactly once, either against a
     // posted receive (expected) or later from the unexpected queue.
     let received = spc[Counter::MessagesReceived];
@@ -68,7 +71,7 @@ fn received_splits_into_expected_plus_unexpected_matches() {
 
 #[test]
 fn out_of_sequence_never_exceeds_arrivals_and_drains_fully() {
-    let spc = run_mixed(DesignConfig::proposed(8), 8, 30);
+    let spc = run_mixed(DesignConfig::builder().proposed(8).build().unwrap(), 8, 30);
     let received = spc[Counter::MessagesReceived];
     assert_eq!(received, 240);
     assert!(spc[Counter::OutOfSequenceMessages] <= received);
@@ -99,7 +102,7 @@ fn byte_accounting_includes_envelopes() {
 
 #[test]
 fn progress_and_lock_counters_are_active() {
-    let spc = run_mixed(DesignConfig::proposed(2), 2, 20);
+    let spc = run_mixed(DesignConfig::builder().proposed(2).build().unwrap(), 2, 20);
     assert!(spc[Counter::ProgressCalls] > 0);
     assert!(spc[Counter::InstanceLockAcquisitions] > 0);
     assert!(spc[Counter::CompletionsDrained] > 0);

@@ -9,11 +9,11 @@ use fairmpi::{Assignment, Counter, DesignConfig, LockModel, MatchMode, ProgressM
 fn designs() -> Vec<DesignConfig> {
     vec![
         DesignConfig::default(),
-        DesignConfig::proposed(2),
-        DesignConfig::proposed(8),
+        DesignConfig::builder().proposed(2).build().unwrap(),
+        DesignConfig::builder().proposed(8).build().unwrap(),
         DesignConfig {
             assignment: Assignment::RoundRobin,
-            ..DesignConfig::proposed(4)
+            ..DesignConfig::builder().proposed(4).build().unwrap()
         },
         DesignConfig {
             matching: MatchMode::Global,
@@ -130,7 +130,7 @@ fn bidirectional_stress_multi_thread() {
     let world = Arc::new(
         World::builder()
             .ranks(2)
-            .design(DesignConfig::proposed(4))
+            .design(DesignConfig::builder().proposed(4).build().unwrap())
             .build(),
     );
     let comm = world.comm_world();

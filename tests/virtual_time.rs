@@ -218,7 +218,7 @@ fn native_and_virtual_backends_agree_on_semantics() {
         window: 16,
         iterations: 3,
         comm_per_pair: true,
-        design: DesignConfig::proposed(3),
+        design: DesignConfig::builder().proposed(3).build().unwrap(),
         ..MultirateConfig::default()
     };
     let native = run_native(&cfg);
